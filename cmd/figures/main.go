@@ -1,0 +1,73 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures                  # run every experiment
+//	figures -exp fig15       # one experiment
+//	figures -accesses 5000   # simulation length per core
+//	figures -skip-maps       # skip the minutes-scale surface maps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reramsim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
+		accesses = flag.Int("accesses", 5000, "memory accesses simulated per core")
+		skipMaps = flag.Bool("skip-maps", false, "skip the surface-map experiments (fig4, fig6, fig11, fig13)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	suite, err := experiments.NewSuite(*accesses)
+	if err != nil {
+		fail(err)
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fail(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	maps := map[string]bool{"fig4": true, "fig6": true, "fig11": true, "fig13": true}
+	for _, e := range selected {
+		if *skipMaps && maps[e.ID] {
+			fmt.Printf("== %s: skipped (-skip-maps)\n\n", e.ID)
+			continue
+		}
+		start := time.Now()
+		out, err := e.Run(suite)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("== %s (%s, %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

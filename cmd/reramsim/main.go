@@ -1,0 +1,115 @@
+// Command reramsim runs one memory-system simulation: a voltage-drop
+// mitigation scheme against a Table IV workload, reporting IPC, latency
+// and energy.
+//
+// Usage:
+//
+//	reramsim -scheme UDRVR+PR -workload mcf_m -accesses 20000
+//	reramsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"reramsim/internal/experiments"
+	"reramsim/internal/wear"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "UDRVR+PR", "scheme name (see -list)")
+		workload = flag.String("workload", "mcf_m", "Table IV workload (see -list)")
+		accesses = flag.Int("accesses", 20000, "memory accesses simulated per core")
+		caches   = flag.Bool("caches", false, "route the address stream through L1/L2/L3 caches")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		lifetime = flag.Bool("lifetime", false, "also estimate the Fig. 5b system lifetime")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		list     = flag.Bool("list", false, "list schemes and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schemes:  ", strings.Join(experiments.SchemeNames(), ", "))
+		fmt.Println("workloads:", strings.Join(experiments.Workloads(), ", "))
+		return
+	}
+
+	suite, err := experiments.NewSuite(*accesses)
+	if err != nil {
+		fail(err)
+	}
+	suite.MemCfg.UseCaches = *caches
+	suite.MemCfg.Seed = *seed
+
+	sc, err := suite.Scheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+	res, err := suite.Sim(*scheme, *workload)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		out := map[string]any{
+			"scheme":            sc.Name(),
+			"workload":          res.Workload,
+			"ipc":               res.IPC,
+			"reads":             res.Reads,
+			"writes":            res.Writes,
+			"avgReadLatencySec": res.AvgReadLatency,
+			"avgWriteWaitSec":   res.AvgWriteWait,
+			"writeBursts":       res.WriteBursts,
+			"cellsWritten":      res.CellsWritten,
+			"writeFailures":     res.WriteFailures,
+			"energyJ": map[string]float64{
+				"read": res.Energy.Read, "write": res.Energy.Write,
+				"leakage": res.Energy.Leakage, "pump": res.Energy.Pump,
+				"total": res.Energy.Total(),
+			},
+		}
+		if *lifetime {
+			years, err := wear.Lifetime(sc, wear.DefaultLifetimeParams())
+			if err != nil {
+				fail(err)
+			}
+			out["lifetimeYears"] = years
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("scheme      %s (pump %.2f V, %d stage(s))\n", sc.Name(), sc.Pump().Vout, sc.Pump().Stages)
+	fmt.Printf("workload    %s\n", res.Workload)
+	fmt.Printf("IPC         %.3f (aggregate, %d cores)\n", res.IPC, suite.MemCfg.Cores)
+	fmt.Printf("reads       %d (avg latency %.0f ns)\n", res.Reads, res.AvgReadLatency*1e9)
+	fmt.Printf("writes      %d (avg wait %.0f ns, %d bursts, %d cells)\n",
+		res.Writes, res.AvgWriteWait*1e9, res.WriteBursts, res.CellsWritten)
+	e := res.Energy
+	fmt.Printf("energy      %.3g J (read %.3g, write %.3g, leakage %.3g, pump %.3g)\n",
+		e.Total(), e.Read, e.Write, e.Leakage, e.Pump)
+	if res.WriteFailures > 0 {
+		fmt.Printf("WARNING     %d write failures (effective Vrst below threshold)\n", res.WriteFailures)
+	}
+
+	if *lifetime {
+		years, err := wear.Lifetime(sc, wear.DefaultLifetimeParams())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("lifetime    %.2f years under worst-case non-stop writes\n", years)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reramsim:", err)
+	os.Exit(1)
+}

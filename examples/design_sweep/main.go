@@ -1,0 +1,54 @@
+// design_sweep explores the MAT design space: how array size and
+// technology node trade density against the worst-case RESET latency and
+// the system lifetime, for the baseline and the paper's UDRVR+PR. This is
+// the kind of study an architect would run before fixing a ReRAM chip
+// floorplan (the paper's §VI sensitivity analyses).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reramsim"
+)
+
+func main() {
+	// Device constants are calibrated once on the default 512x512 / 20 nm
+	// array (the paper's methodology) and held fixed across the sweep.
+	calibrated := reramsim.CalibratedConfig()
+
+	fmt.Println("size      node   scheme     worst RESET   lifetime")
+	fmt.Println("--------  -----  ---------  -----------  ---------")
+	for _, size := range []int{256, 512, 1024} {
+		for _, node := range []reramsim.TechNode{reramsim.Node32nm, reramsim.Node20nm} {
+			cfg := calibrated
+			cfg.Size = size
+			cfg.Rwire = reramsim.WireResistance(node)
+
+			for _, build := range []func(reramsim.ArrayConfig) (*reramsim.Scheme, error){
+				reramsim.Baseline, reramsim.UDRVRPR,
+			} {
+				s, err := build(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				wc, err := s.WorstWriteCost()
+				if err != nil {
+					log.Fatal(err)
+				}
+				years, err := reramsim.Lifetime(s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%4dx%-4d %5s  %-9s  %8.0f ns  %7.1f y\n",
+					size, size, node, s.Name(), wc.ResetLatency*1e9, years)
+			}
+		}
+	}
+	fmt.Println("\nLarger arrays and finer nodes suffer more IR drop; UDRVR+PR")
+	fmt.Println("recovers most of the latency. At the paper's design point")
+	fmt.Println("(512x512, 20 nm) it meets the >10-year lifetime requirement;")
+	fmt.Println("smaller or coarser arrays write so fast that wear, not drop,")
+	fmt.Println("limits them, and the 3.66 V pump cannot fully compensate a")
+	fmt.Println("1Kx1K array's bit-lines.")
+}

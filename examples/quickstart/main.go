@@ -1,0 +1,58 @@
+// Quickstart: build the paper's headline scheme (UDRVR+PR), compare it
+// against the baseline 512x512 cross-point array on a write-intensive
+// workload, and check the 10-year lifetime requirement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reramsim"
+)
+
+func main() {
+	// A calibrated Table I array: Eq. 1 anchored to 15 ns (no drop) and
+	// 2.3 us (worst-case corner of the baseline array).
+	cfg := reramsim.CalibratedConfig()
+
+	base, err := reramsim.Baseline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	udrvrpr, err := reramsim.UDRVRPR(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Worst-case write service time: the quantity voltage drop inflates.
+	for _, s := range []*reramsim.Scheme{base, udrvrpr} {
+		wc, err := s.WorstWriteCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s worst-case line write: RESET %7.0f ns, SET %4.0f ns\n",
+			s.Name(), wc.ResetLatency*1e9, wc.SetLatency*1e9)
+	}
+
+	// End-to-end: simulate mcf (the paper's most write-intensive SPEC
+	// workload) on the Table III system.
+	rBase, err := reramsim.Simulate(base, "mcf_m", 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rNew, err := reramsim.Simulate(udrvrpr, "mcf_m", 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmcf_m IPC: baseline %.3f -> UDRVR+PR %.3f (speedup %.2fx)\n",
+		rBase.IPC, rNew.IPC, rNew.Speedup(rBase))
+	fmt.Printf("mcf_m energy: baseline %.3g J -> UDRVR+PR %.3g J\n",
+		rBase.Energy.Total(), rNew.Energy.Total())
+
+	// The endurance side: acceleration must not wear the memory out.
+	years, err := reramsim.Lifetime(udrvrpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUDRVR+PR lifetime under worst-case non-stop writes: %.1f years (requirement: >10)\n", years)
+}

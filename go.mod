@@ -1,0 +1,3 @@
+module reramsim
+
+go 1.22

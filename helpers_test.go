@@ -1,0 +1,69 @@
+package reramsim
+
+// Test-only helpers that reach below the facade: the full 2-D reference
+// solver and the alternative composite cell model, used by the ablation
+// benchmarks and the facade tests.
+
+import (
+	"reramsim/internal/circuit"
+	"reramsim/internal/device"
+	"reramsim/internal/xpoint"
+)
+
+// fullSolverWorstCase solves the worst-corner 1-bit RESET of cfg with the
+// full 2-D nonlinear solver and returns the cell's effective voltage.
+func fullSolverWorstCase(cfg ArrayConfig) (float64, error) {
+	sel := device.Tabulate(cfg.Params.LRSCell(), cfg.Params.Vrst*1.7, 4096)
+	bg := device.Tabulate(cfg.Params.BackgroundCell(cfg.LRSFrac), cfg.Params.Vrst*1.7, 4096)
+	g := circuit.NewGrid(cfg.Size, cfg.Size, cfg.Rwire, bg)
+	g.Dev = func(r, c int) device.Device {
+		if r == cfg.Size-1 && c == cfg.Size-1 {
+			return sel
+		}
+		return bg
+	}
+	circuit.ResetBias{
+		SelectedWL: cfg.Size - 1,
+		BLVolts:    map[int]float64{cfg.Size - 1: cfg.Params.Vrst},
+		Vhalf:      cfg.Params.Vrst / 2,
+		Rdrv:       cfg.Rdrv,
+		Rdec:       cfg.Rdec,
+	}.Apply(g)
+	sol, err := circuit.Solve(g, circuit.SolverOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return sol.CellVoltage(cfg.Size-1, cfg.Size-1), nil
+}
+
+// compositeWorstCase evaluates the worst-corner cell with the
+// ohmic-element-plus-selector composite model instead of the default
+// compliance-limited cell.
+func compositeWorstCase(cfg ArrayConfig) (float64, error) {
+	dev := device.Tabulate(cfg.Params.CompositeLRSCell(), cfg.Params.Vrst*1.7, 4096)
+	g := circuit.NewGrid(cfg.Size, cfg.Size, cfg.Rwire, dev)
+	circuit.ResetBias{
+		SelectedWL: cfg.Size - 1,
+		BLVolts:    map[int]float64{cfg.Size - 1: cfg.Params.Vrst},
+		Vhalf:      cfg.Params.Vrst / 2,
+		Rdrv:       cfg.Rdrv,
+		Rdec:       cfg.Rdec,
+	}.Apply(g)
+	sol, err := circuit.Solve(g, circuit.SolverOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return sol.CellVoltage(cfg.Size-1, cfg.Size-1), nil
+}
+
+// calibratedSmall returns a calibrated config shrunk for fast tests.
+func calibratedSmall(size int) ArrayConfig {
+	cfg := xpoint.DefaultConfig()
+	cfg.Size = size
+	p, err := xpoint.CalibrateLatency(cfg, xpoint.BestCaseLatency, xpoint.WorstCaseLatency)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Params = p
+	return cfg
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c, err := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(1, false).Hit {
+		t.Error("cold access hit")
+	}
+	if !c.Access(1, false).Hit {
+		t.Error("second access missed")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One set of 2 ways: lines mapping to set 0 with distinct tags.
+	c, err := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 2, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := uint64(0), uint64(1), uint64(2) // 1 set -> all collide
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b
+	if !c.Access(a, false).Hit {
+		t.Error("a should have survived")
+	}
+	if c.Access(b, false).Hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c, err := New(Config{SizeBytes: 128, LineBytes: 64, Ways: 2, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(7, true) // dirty
+	c.Access(8, false)
+	res := c.Access(9, false) // evicts 7 (LRU, dirty)
+	if !res.HasWriteback || res.Writeback != 7 {
+		t.Errorf("expected writeback of line 7, got %+v", res)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+	// Clean evictions produce no writeback.
+	res = c.Access(10, false)
+	if res.HasWriteback {
+		t.Error("clean eviction produced a writeback")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(Config{SizeBytes: 0, LineBytes: 64, Ways: 4}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(Config{SizeBytes: 100, LineBytes: 64, Ways: 3}); err == nil {
+		t.Error("ragged geometry accepted")
+	}
+	if _, err := New(Config{SizeBytes: 64 * 3 * 2, LineBytes: 64, Ways: 2}); err == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+}
+
+func TestWorkingSetContainment(t *testing.T) {
+	// A working set smaller than the cache must converge to ~100% hits.
+	c, err := New(Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const ws = 512 // lines: 32 KB working set in a 64 KB cache
+	for i := 0; i < 20000; i++ {
+		c.Access(uint64(rng.Intn(ws)), rng.Intn(2) == 0)
+	}
+	if mr := c.Stats.MissRate(); mr > 0.05 {
+		t.Errorf("contained working set miss rate %.3f, want < 5%%", mr)
+	}
+}
+
+func TestHierarchyFiltersTraffic(t *testing.T) {
+	h, err := NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const ws = 20000 // lines: 1.25 MB, fits comfortably in the 32 MB L3
+	// Warm up, then measure: only conflict misses should remain.
+	for i := 0; i < ws*4; i++ {
+		h.Access(uint64(rng.Intn(ws)), rng.Intn(4) == 0)
+	}
+	memAccesses := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		line := uint64(rng.Intn(ws))
+		_, mem := h.Access(line, rng.Intn(4) == 0)
+		memAccesses += len(mem)
+	}
+	if float64(memAccesses)/n > 0.05 {
+		t.Errorf("hierarchy passed %.0f%% of warm accesses to memory, want strong filtering", 100*float64(memAccesses)/n)
+	}
+	// A dirty L3 eviction must surface as a memory write.
+	sawWriteback := false
+	for i := 0; i < 3_000_000 && !sawWriteback; i++ {
+		line := uint64(rng.Int63n(3 << 20))
+		_, mem := h.Access(line, true)
+		for _, m := range mem {
+			if m.IsWrite {
+				sawWriteback = true
+			}
+		}
+	}
+	if !sawWriteback {
+		t.Error("no dirty writeback ever reached memory")
+	}
+}

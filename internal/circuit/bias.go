@@ -1,0 +1,62 @@
+package circuit
+
+// ResetBias describes how a RESET operation biases the array edges. It
+// implements the paper's §II-B scheme: the selected word-line is grounded
+// at the row decoder, selected bit-lines are driven to their RESET
+// voltage by write drivers at the bottom, and unselected lines are held
+// at Vhalf. The far end of unselected word-lines is left floating
+// (Fig. 2); hardware techniques flip the extra switches:
+//
+//   - DSGB grounds the selected word-line from BOTH ends (extra row
+//     decoder on the right).
+//   - DSWD drives selected bit-lines from BOTH ends (extra write drivers
+//     and column muxes at the top).
+type ResetBias struct {
+	SelectedWL int             // selected row
+	BLVolts    map[int]float64 // selected column -> applied RESET voltage
+	Vhalf      float64         // half-select bias for unselected lines
+	Rdrv       float64         // write-driver source resistance (ohm)
+	Rdec       float64         // row-decoder ground resistance (ohm)
+	DSGB       bool            // ground selected WL at both ends
+	DSWD       bool            // drive selected BLs at both ends
+
+	// FloatUnselWL leaves unselected word-lines entirely floating
+	// (precharge-and-float operation) instead of holding them at Vhalf
+	// from the decoder side.
+	FloatUnselWL bool
+}
+
+// Apply writes the bias onto the grid's boundary slices, which must
+// already have the right lengths (as built by NewGrid).
+func (rb ResetBias) Apply(g *Grid) {
+	for r := 0; r < g.Rows; r++ {
+		switch {
+		case r == rb.SelectedWL:
+			g.WLLeft[r] = Source(0, rb.Rdec)
+			if rb.DSGB {
+				g.WLRight[r] = Source(0, rb.Rdec)
+			} else {
+				g.WLRight[r] = Floating
+			}
+		case rb.FloatUnselWL:
+			g.WLLeft[r] = Floating
+			g.WLRight[r] = Floating
+		default:
+			g.WLLeft[r] = Source(rb.Vhalf, rb.Rdec)
+			g.WLRight[r] = Floating
+		}
+	}
+	for c := 0; c < g.Cols; c++ {
+		if v, sel := rb.BLVolts[c]; sel {
+			g.BLBottom[c] = Source(v, rb.Rdrv)
+			if rb.DSWD {
+				g.BLTop[c] = Source(v, rb.Rdrv)
+			} else {
+				g.BLTop[c] = Floating
+			}
+		} else {
+			g.BLBottom[c] = Source(rb.Vhalf, rb.Rdrv)
+			g.BLTop[c] = Floating
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package circuit is the reference nonlinear solver for ReRAM cross-point
+// arrays. It plays the role HSPICE plays in the paper: given an array of
+// nonlinear two-terminal devices (cell + selector composites from
+// internal/device), per-junction wire resistances, and a bias
+// configuration on the four array edges, it solves Kirchhoff's current law
+// for every word-line and bit-line node.
+//
+// The solver exploits the cross-point structure: nodes couple strongly
+// along a wire (small Rwire) and weakly across planes (high-impedance
+// devices), so alternating exact tridiagonal line solves — each bit-line
+// column, then each word-line row — with secant-conductance linearisation
+// of the devices converges in tens of sweeps even for 512x512 arrays.
+//
+// The fast analytical model in internal/xpoint is validated against this
+// package on small arrays.
+package circuit

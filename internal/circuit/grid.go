@@ -1,0 +1,103 @@
+package circuit
+
+import (
+	"fmt"
+
+	"reramsim/internal/device"
+)
+
+// Drive describes the boundary condition at one end of a wire: either a
+// voltage source V behind a series resistance R, or floating (no
+// connection). The zero value is floating.
+type Drive struct {
+	Driven bool
+	V      float64 // source voltage (V)
+	R      float64 // source series resistance (ohm); must be > 0 when Driven
+}
+
+// Floating is the open-circuit boundary condition.
+var Floating = Drive{}
+
+// Source returns a driven boundary at voltage v behind resistance r.
+func Source(v, r float64) Drive { return Drive{Driven: true, V: v, R: r} }
+
+// Grid is a cross-point array netlist: Rows word-lines (horizontal, the
+// lower plane) crossing Cols bit-lines (vertical, the upper plane), with a
+// nonlinear device at every junction.
+//
+// Geometry follows the paper's Fig. 4a: the row decoder drives word-lines
+// from the LEFT (column 0 side), the column mux / write drivers drive
+// bit-lines from the BOTTOM (row 0 side). Row index therefore measures
+// distance from the write driver along a bit-line; column index measures
+// distance from the row decoder along a word-line.
+type Grid struct {
+	Rows, Cols int
+	Rwire      float64 // per-junction wire resistance, both planes (ohm)
+
+	// Dev returns the device at junction (r, c). Implementations are
+	// typically closures over a data pattern choosing LRS or HRS.
+	Dev func(r, c int) device.Device
+
+	// Boundary drives. Each slice may be nil (all floating) or have
+	// length Rows (WLLeft/WLRight) or Cols (BLBottom/BLTop).
+	WLLeft, WLRight []Drive
+	BLBottom, BLTop []Drive
+}
+
+// NewGrid returns a grid with all boundaries floating and every junction
+// occupied by dev. Callers overwrite Dev and the boundary slices.
+func NewGrid(rows, cols int, rwire float64, dev device.Device) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("circuit: invalid grid %dx%d", rows, cols))
+	}
+	if rwire < 0 {
+		panic(fmt.Sprintf("circuit: negative wire resistance %g", rwire))
+	}
+	return &Grid{
+		Rows:     rows,
+		Cols:     cols,
+		Rwire:    rwire,
+		Dev:      func(r, c int) device.Device { return dev },
+		WLLeft:   make([]Drive, rows),
+		WLRight:  make([]Drive, rows),
+		BLBottom: make([]Drive, cols),
+		BLTop:    make([]Drive, cols),
+	}
+}
+
+func (g *Grid) validate() error {
+	if g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("circuit: invalid grid %dx%d", g.Rows, g.Cols)
+	}
+	if g.Dev == nil {
+		return fmt.Errorf("circuit: grid has no device function")
+	}
+	check := func(name string, s []Drive, want int) error {
+		if s != nil && len(s) != want {
+			return fmt.Errorf("circuit: %s has %d drives, want %d", name, len(s), want)
+		}
+		for i, d := range s {
+			if d.Driven && d.R <= 0 {
+				return fmt.Errorf("circuit: %s[%d] driven with non-positive source resistance", name, i)
+			}
+		}
+		return nil
+	}
+	if err := check("WLLeft", g.WLLeft, g.Rows); err != nil {
+		return err
+	}
+	if err := check("WLRight", g.WLRight, g.Rows); err != nil {
+		return err
+	}
+	if err := check("BLBottom", g.BLBottom, g.Cols); err != nil {
+		return err
+	}
+	return check("BLTop", g.BLTop, g.Cols)
+}
+
+func drive(s []Drive, i int) Drive {
+	if s == nil {
+		return Floating
+	}
+	return s[i]
+}

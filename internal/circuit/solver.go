@@ -1,0 +1,282 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SolverOptions tune the nonlinear iteration. The zero value selects the
+// defaults via the Default* constants.
+type SolverOptions struct {
+	Tol      float64 // convergence threshold on max node-voltage change (V)
+	MaxIter  int     // maximum outer sweeps
+	Relax    float64 // under-relaxation factor in (0, 1]
+	MinRwire float64 // floor for wire resistance to keep systems finite
+}
+
+// Default solver settings: tight enough that latency maps are stable to
+// well under a millivolt, loose enough that 512x512 solves stay fast.
+const (
+	DefaultTol      = 1e-7
+	DefaultMaxIter  = 4000
+	DefaultRelax    = 1.0
+	DefaultMinRwire = 1e-4
+)
+
+func (o SolverOptions) withDefaults() SolverOptions {
+	if o.Tol <= 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	if o.Relax <= 0 || o.Relax > 1 {
+		o.Relax = DefaultRelax
+	}
+	if o.MinRwire <= 0 {
+		o.MinRwire = DefaultMinRwire
+	}
+	return o
+}
+
+// Solution holds the solved node voltages of a grid. VB is the bit-line
+// (upper) plane, VW the word-line (lower) plane, both indexed [r*Cols+c].
+type Solution struct {
+	Rows, Cols int
+	VB, VW     []float64
+	Iters      int
+	Residual   float64 // last max voltage change (V)
+	grid       *Grid
+}
+
+// ErrNoConvergence is returned when the solver exhausts MaxIter without
+// meeting the tolerance. The partial Solution is still returned so callers
+// can inspect where the iteration stalled.
+var ErrNoConvergence = errors.New("circuit: solver did not converge")
+
+// Solve computes the DC operating point of the grid under its boundary
+// drives. It returns ErrNoConvergence (with the partial solution) if the
+// nonlinear iteration fails to settle.
+func Solve(g *Grid, opt SolverOptions) (*Solution, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	rw := math.Max(g.Rwire, opt.MinRwire)
+	gw := 1 / rw
+
+	rows, cols := g.Rows, g.Cols
+	sol := &Solution{
+		Rows: rows, Cols: cols,
+		VB:   make([]float64, rows*cols),
+		VW:   make([]float64, rows*cols),
+		grid: g,
+	}
+
+	// Initial guess: the mean of all driven boundary voltages. Starting
+	// both planes at the same potential keeps initial device currents
+	// zero, which is a gentle starting point for the secant iteration.
+	init := meanDriveVoltage(g)
+	for i := range sol.VB {
+		sol.VB[i] = init
+		sol.VW[i] = init
+	}
+
+	n := max(rows, cols)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	x := make([]float64, n)
+
+	relax := opt.Relax
+	prevRes := math.Inf(1)
+	for it := 1; it <= opt.MaxIter; it++ {
+		res := 0.0
+
+		// Pass 1: solve every bit-line column exactly, word-line plane held.
+		for col := 0; col < cols; col++ {
+			for r := 0; r < rows; r++ {
+				idx := r*cols + col
+				gd := g.Dev(r, col).SecantConductance(sol.VB[idx] - sol.VW[idx])
+				diag := gd
+				rhs := gd * sol.VW[idx]
+				a[r], c[r] = 0, 0
+				if r > 0 {
+					a[r] = -gw
+					diag += gw
+				} else if drv := drive(g.BLBottom, col); drv.Driven {
+					gs := 1 / drv.R
+					diag += gs
+					rhs += gs * drv.V
+				}
+				if r < rows-1 {
+					c[r] = -gw
+					diag += gw
+				} else if drv := drive(g.BLTop, col); drv.Driven {
+					gs := 1 / drv.R
+					diag += gs
+					rhs += gs * drv.V
+				}
+				if diag == 0 {
+					diag = 1e-30 // fully floating isolated node; hold at rhs 0
+				}
+				b[r] = diag
+				d[r] = rhs
+			}
+			SolveTridiag(a[:rows], b[:rows], c[:rows], d[:rows], cp[:rows], dp[:rows], x[:rows])
+			for r := 0; r < rows; r++ {
+				idx := r*cols + col
+				nv := sol.VB[idx] + relax*(x[r]-sol.VB[idx])
+				if dv := math.Abs(nv - sol.VB[idx]); dv > res {
+					res = dv
+				}
+				sol.VB[idx] = nv
+			}
+		}
+
+		// Pass 2: solve every word-line row exactly, bit-line plane held.
+		for r := 0; r < rows; r++ {
+			for col := 0; col < cols; col++ {
+				idx := r*cols + col
+				gd := g.Dev(r, col).SecantConductance(sol.VB[idx] - sol.VW[idx])
+				diag := gd
+				rhs := gd * sol.VB[idx]
+				a[col], c[col] = 0, 0
+				if col > 0 {
+					a[col] = -gw
+					diag += gw
+				} else if drv := drive(g.WLLeft, r); drv.Driven {
+					gs := 1 / drv.R
+					diag += gs
+					rhs += gs * drv.V
+				}
+				if col < cols-1 {
+					c[col] = -gw
+					diag += gw
+				} else if drv := drive(g.WLRight, r); drv.Driven {
+					gs := 1 / drv.R
+					diag += gs
+					rhs += gs * drv.V
+				}
+				if diag == 0 {
+					diag = 1e-30
+				}
+				b[col] = diag
+				d[col] = rhs
+			}
+			SolveTridiag(a[:cols], b[:cols], c[:cols], d[:cols], cp[:cols], dp[:cols], x[:cols])
+			for col := 0; col < cols; col++ {
+				idx := r*cols + col
+				nv := sol.VW[idx] + relax*(x[col]-sol.VW[idx])
+				if dv := math.Abs(nv - sol.VW[idx]); dv > res {
+					res = dv
+				}
+				sol.VW[idx] = nv
+			}
+		}
+
+		sol.Iters = it
+		sol.Residual = res
+		if res < opt.Tol {
+			return sol, nil
+		}
+		// If the secant fixed point starts oscillating, damp it.
+		if res > prevRes && relax > 0.3 {
+			relax *= 0.7
+		}
+		prevRes = res
+	}
+	return sol, fmt.Errorf("%w after %d iterations (residual %g V)", ErrNoConvergence, sol.Iters, sol.Residual)
+}
+
+func meanDriveVoltage(g *Grid) float64 {
+	sum, n := 0.0, 0
+	for _, s := range [][]Drive{g.WLLeft, g.WLRight, g.BLBottom, g.BLTop} {
+		for _, d := range s {
+			if d.Driven {
+				sum += d.V
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CellVoltage returns the voltage across the device at junction (r, c):
+// bit-line node minus word-line node. During a RESET this is the
+// effective RESET voltage of the cell.
+func (s *Solution) CellVoltage(r, c int) float64 {
+	return s.VB[r*s.Cols+c] - s.VW[r*s.Cols+c]
+}
+
+// CellCurrent returns the current through the device at (r, c), positive
+// from bit-line to word-line.
+func (s *Solution) CellCurrent(r, c int) float64 {
+	return s.grid.Dev(r, c).Current(s.CellVoltage(r, c))
+}
+
+// BoundarySide identifies one of the four grid edges.
+type BoundarySide uint8
+
+// The four edges of the grid.
+const (
+	WLLeftSide BoundarySide = iota
+	WLRightSide
+	BLBottomSide
+	BLTopSide
+)
+
+// DriveCurrent returns the current delivered by the boundary source on
+// side at line index i (positive into the array). Floating boundaries
+// deliver zero by construction.
+func (s *Solution) DriveCurrent(side BoundarySide, i int) float64 {
+	var d Drive
+	var node float64
+	switch side {
+	case WLLeftSide:
+		d, node = drive(s.grid.WLLeft, i), s.VW[i*s.Cols]
+	case WLRightSide:
+		d, node = drive(s.grid.WLRight, i), s.VW[i*s.Cols+s.Cols-1]
+	case BLBottomSide:
+		d, node = drive(s.grid.BLBottom, i), s.VB[i]
+	case BLTopSide:
+		d, node = drive(s.grid.BLTop, i), s.VB[(s.Rows-1)*s.Cols+i]
+	default:
+		panic(fmt.Sprintf("circuit: unknown boundary side %d", side))
+	}
+	if !d.Driven {
+		return 0
+	}
+	return (d.V - node) / d.R
+}
+
+// TotalSourceCurrent sums the current delivered by every driven boundary
+// with source voltage above ground. It approximates the charge-pump load
+// of the operation.
+func (s *Solution) TotalSourceCurrent() float64 {
+	total := 0.0
+	for i := 0; i < s.Rows; i++ {
+		if c := s.DriveCurrent(WLLeftSide, i); c > 0 {
+			total += c
+		}
+		if c := s.DriveCurrent(WLRightSide, i); c > 0 {
+			total += c
+		}
+	}
+	for i := 0; i < s.Cols; i++ {
+		if c := s.DriveCurrent(BLBottomSide, i); c > 0 {
+			total += c
+		}
+		if c := s.DriveCurrent(BLTopSide, i); c > 0 {
+			total += c
+		}
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"reramsim/internal/device"
+)
+
+// TestDSGBPlusDSWDWorstMovesToCentre: with both ends of both lines
+// driven, the worst-case cell migrates from the far corner to the array
+// centre (the basis of the scheme-level WorstWriteCost position scan).
+func TestDSGBPlusDSWDWorstMovesToCentre(t *testing.T) {
+	const size = 32
+	eff := func(r, c int) float64 {
+		g := resetGrid(t, size, r, []int{c}, 3.0, func(rb *ResetBias) {
+			rb.DSGB = true
+			rb.DSWD = true
+		})
+		return mustSolve(t, g).CellVoltage(r, c)
+	}
+	corner := eff(size-1, size-1)
+	centre := eff(size/2, size/2)
+	if centre >= corner {
+		t.Errorf("under DSGB+DSWD the centre (%.4f) should be worse than the corner (%.4f)", centre, corner)
+	}
+}
+
+// TestSolverRespectsTolerance: a tighter tolerance produces at least as
+// many iterations and a solution consistent with the loose one.
+func TestSolverRespectsTolerance(t *testing.T) {
+	g := resetGrid(t, 16, 15, []int{15}, 3.0, nil)
+	loose, err := Solve(g, SolverOptions{Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Solve(g, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Iters < loose.Iters {
+		t.Errorf("tight solve took fewer sweeps (%d) than loose (%d)", tight.Iters, loose.Iters)
+	}
+	if d := math.Abs(tight.CellVoltage(15, 15) - loose.CellVoltage(15, 15)); d > 1e-3 {
+		t.Errorf("solutions diverge by %g V between tolerances", d)
+	}
+}
+
+// TestNoConvergenceSurfaces: an absurd iteration budget must surface
+// ErrNoConvergence with the partial solution attached.
+func TestNoConvergenceSurfaces(t *testing.T) {
+	g := resetGrid(t, 32, 31, []int{31}, 3.0, nil)
+	_, err := Solve(g, SolverOptions{MaxIter: 1, Tol: 1e-12})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("expected ErrNoConvergence, got %v", err)
+	}
+}
+
+// TestRectangularGrid: non-square arrays solve and respect geometry.
+func TestRectangularGrid(t *testing.T) {
+	p := testParams()
+	g := NewGrid(8, 24, 11.5, p.LRSCell())
+	ResetBias{
+		SelectedWL: 7,
+		BLVolts:    map[int]float64{23: 3.0},
+		Vhalf:      1.5, Rdrv: 100, Rdec: 100,
+	}.Apply(g)
+	sol := mustSolve(t, g)
+	if v := sol.CellVoltage(7, 23); v < 2.0 || v > 3.0 {
+		t.Errorf("rectangular worst cell Veff = %.3f, implausible", v)
+	}
+}
+
+// TestDriveCurrentSigns: positive sources inject, grounds absorb.
+func TestDriveCurrentSigns(t *testing.T) {
+	g := resetGrid(t, 8, 7, []int{7}, 3.0, nil)
+	sol := mustSolve(t, g)
+	if c := sol.DriveCurrent(BLBottomSide, 7); c <= 0 {
+		t.Errorf("selected bit-line source current = %g, want positive", c)
+	}
+	if c := sol.DriveCurrent(WLLeftSide, 7); c >= 0 {
+		t.Errorf("selected word-line ground current = %g, want negative (absorbing)", c)
+	}
+	if c := sol.DriveCurrent(BLTopSide, 0); c != 0 {
+		t.Errorf("floating boundary carries %g A", c)
+	}
+}
+
+// TestBackgroundCellInReference: the shared background device keeps the
+// reference solver's half-select loads consistent with the fast model's
+// (guards the cross-solver contract).
+func TestBackgroundCellInReference(t *testing.T) {
+	p := testParams()
+	bg := p.BackgroundCell(1.0)
+	// The background must conduct at half select at least the
+	// subthreshold floor (Ion/Kr).
+	if got := bg.Current(1.5); got < p.Ion/p.Kr {
+		t.Errorf("background half-select current %g below the Kr floor %g", got, p.Ion/p.Kr)
+	}
+	// And a 2000-selectivity background must leak less than a 500 one.
+	p2 := p
+	p2.Kr = 2000
+	p5 := p
+	p5.Kr = 500
+	if device.Device(p2.BackgroundCell(1)).Current(1.4) >= device.Device(p5.BackgroundCell(1)).Current(1.4) {
+		t.Error("higher Kr must mean less sub-select leakage")
+	}
+}

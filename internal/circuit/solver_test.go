@@ -1,0 +1,296 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"reramsim/internal/device"
+)
+
+func testParams() device.Params { return device.DefaultParams() }
+
+// resetGrid builds an all-LRS grid biased for a RESET of the cells listed
+// in cols on word-line wl, with the standard V/2 scheme.
+func resetGrid(t testing.TB, size int, wl int, cols []int, vrst float64, opts func(*ResetBias)) *Grid {
+	t.Helper()
+	p := testParams()
+	g := NewGrid(size, size, 11.5, p.LRSSelector())
+	bl := make(map[int]float64, len(cols))
+	for _, c := range cols {
+		bl[c] = vrst
+	}
+	rb := ResetBias{
+		SelectedWL: wl,
+		BLVolts:    bl,
+		Vhalf:      vrst / 2,
+		Rdrv:       100,
+		Rdec:       100,
+	}
+	if opts != nil {
+		opts(&rb)
+	}
+	rb.Apply(g)
+	return g
+}
+
+func mustSolve(t testing.TB, g *Grid) *Solution {
+	t.Helper()
+	sol, err := Solve(g, SolverOptions{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return sol
+}
+
+// TestKCLConservation: the current injected by all positive sources must
+// equal the current absorbed by the grounds (global charge conservation).
+func TestKCLConservation(t *testing.T) {
+	g := resetGrid(t, 16, 15, []int{15}, 3.0, nil)
+	sol := mustSolve(t, g)
+	in, out := 0.0, 0.0
+	for i := 0; i < g.Rows; i++ {
+		for _, side := range []BoundarySide{WLLeftSide, WLRightSide} {
+			c := sol.DriveCurrent(side, i)
+			if c > 0 {
+				in += c
+			} else {
+				out -= c
+			}
+		}
+	}
+	for i := 0; i < g.Cols; i++ {
+		for _, side := range []BoundarySide{BLBottomSide, BLTopSide} {
+			c := sol.DriveCurrent(side, i)
+			if c > 0 {
+				in += c
+			} else {
+				out -= c
+			}
+		}
+	}
+	if in <= 0 {
+		t.Fatal("no current flows")
+	}
+	if math.Abs(in-out)/in > 1e-3 {
+		t.Errorf("KCL violated: in=%g A, out=%g A", in, out)
+	}
+}
+
+// TestNodeKCL checks Kirchhoff's current law at interior nodes of both
+// planes on the converged solution.
+func TestNodeKCL(t *testing.T) {
+	g := resetGrid(t, 12, 6, []int{9}, 3.0, nil)
+	sol, err := Solve(g, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	gw := 1 / g.Rwire
+	idx := func(r, c int) int { return r*g.Cols + c }
+	for r := 1; r < g.Rows-1; r++ {
+		for c := 0; c < g.Cols; c++ {
+			// BL plane node (r, c): wire current from below and above plus
+			// device current must sum to zero.
+			v := sol.VB[idx(r, c)]
+			sum := gw*(sol.VB[idx(r-1, c)]-v) + gw*(sol.VB[idx(r+1, c)]-v)
+			sum -= g.Dev(r, c).Current(v - sol.VW[idx(r, c)])
+			if math.Abs(sum) > 1e-7 {
+				t.Fatalf("BL node (%d,%d) KCL residual %g A", r, c, sum)
+			}
+		}
+	}
+	for r := 0; r < g.Rows; r++ {
+		for c := 1; c < g.Cols-1; c++ {
+			v := sol.VW[idx(r, c)]
+			sum := gw*(sol.VW[idx(r, c-1)]-v) + gw*(sol.VW[idx(r, c+1)]-v)
+			sum += g.Dev(r, c).Current(sol.VB[idx(r, c)] - v)
+			if math.Abs(sum) > 1e-7 {
+				t.Fatalf("WL node (%d,%d) KCL residual %g A", r, c, sum)
+			}
+		}
+	}
+}
+
+// TestZeroBiasIsQuiescent: with every driven boundary at the same
+// potential no device conducts.
+func TestZeroBiasIsQuiescent(t *testing.T) {
+	p := testParams()
+	g := NewGrid(8, 8, 11.5, p.LRSSelector())
+	for r := 0; r < 8; r++ {
+		g.WLLeft[r] = Source(1.5, 100)
+	}
+	for c := 0; c < 8; c++ {
+		g.BLBottom[c] = Source(1.5, 100)
+	}
+	sol := mustSolve(t, g)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if v := sol.CellVoltage(r, c); math.Abs(v) > 1e-9 {
+				t.Fatalf("cell (%d,%d) sees %g V under uniform bias", r, c, v)
+			}
+		}
+	}
+	if i := sol.TotalSourceCurrent(); i > 1e-12 {
+		t.Errorf("quiescent source current %g A", i)
+	}
+}
+
+// TestVoltageDropGrowsWithDistance reproduces the Fig. 4 trend: the
+// effective RESET voltage of the selected cell falls as the cell moves
+// away from the write driver (rows) and the row decoder (columns).
+func TestVoltageDropGrowsWithDistance(t *testing.T) {
+	const size = 32
+	eff := func(r, c int) float64 {
+		g := resetGrid(t, size, r, []int{c}, 3.0, nil)
+		return mustSolve(t, g).CellVoltage(r, c)
+	}
+	nearest := eff(0, 0)
+	farRow := eff(size-1, 0)
+	farCol := eff(0, size-1)
+	worst := eff(size-1, size-1)
+	if !(worst < farRow && worst < farCol) {
+		t.Errorf("worst corner (%.4f) should see more drop than edges (%.4f, %.4f)", worst, farRow, farCol)
+	}
+	if !(farRow < nearest && farCol < nearest) {
+		t.Errorf("edge cells (%.4f, %.4f) should see more drop than nearest (%.4f)", farRow, farCol, nearest)
+	}
+	if nearest > 3.0 || nearest < 2.9 {
+		t.Errorf("nearest cell effective Vrst = %.4f, want ~3.0 (tiny drop)", nearest)
+	}
+}
+
+// TestDSGBReducesWLDrop: grounding the selected word-line at both ends
+// must raise the effective voltage of a far-column cell.
+func TestDSGBReducesWLDrop(t *testing.T) {
+	const size = 32
+	base := mustSolve(t, resetGrid(t, size, size-1, []int{size - 1}, 3.0, nil)).CellVoltage(size-1, size-1)
+	dsgb := mustSolve(t, resetGrid(t, size, size-1, []int{size - 1}, 3.0, func(rb *ResetBias) {
+		rb.DSGB = true
+	})).CellVoltage(size-1, size-1)
+	if dsgb <= base {
+		t.Errorf("DSGB effective Vrst %.4f should exceed baseline %.4f", dsgb, base)
+	}
+}
+
+// TestDSWDReducesBLDrop: driving the selected bit-line from both ends
+// must raise the effective voltage of a far-row cell.
+func TestDSWDReducesBLDrop(t *testing.T) {
+	const size = 32
+	base := mustSolve(t, resetGrid(t, size, size-1, []int{size - 1}, 3.0, nil)).CellVoltage(size-1, size-1)
+	dswd := mustSolve(t, resetGrid(t, size, size-1, []int{size - 1}, 3.0, func(rb *ResetBias) {
+		rb.DSWD = true
+	})).CellVoltage(size-1, size-1)
+	if dswd <= base {
+		t.Errorf("DSWD effective Vrst %.4f should exceed baseline %.4f", dswd, base)
+	}
+}
+
+// TestHigherKrLessDrop: a more selective access device leaks less sneak
+// current, so the worst-case cell keeps a higher effective voltage
+// (Fig. 20's physical premise).
+func TestHigherKrLessDrop(t *testing.T) {
+	const size = 32
+	eff := func(kr float64) float64 {
+		p := testParams()
+		p.Kr = kr
+		g := NewGrid(size, size, 11.5, p.LRSSelector())
+		ResetBias{
+			SelectedWL: size - 1,
+			BLVolts:    map[int]float64{size - 1: 3.0},
+			Vhalf:      1.5, Rdrv: 100, Rdec: 100,
+		}.Apply(g)
+		return mustSolve(t, g).CellVoltage(size-1, size-1)
+	}
+	low, mid, high := eff(500), eff(1000), eff(2000)
+	if !(low < mid && mid < high) {
+		t.Errorf("effective Vrst should grow with Kr: %.4f, %.4f, %.4f", low, mid, high)
+	}
+}
+
+// TestHRSPatternLessDrop: an all-HRS array leaks far less than all-LRS,
+// so the selected cell keeps a higher effective voltage (the premise of
+// RBDL and of the paper's pessimistic all-LRS assumption).
+func TestHRSPatternLessDrop(t *testing.T) {
+	const size = 32
+	p := testParams()
+	lrsDev, hrsDev := p.LRSSelector(), p.HRSSelector()
+
+	build := func(background device.Device) float64 {
+		g := NewGrid(size, size, 11.5, lrsDev)
+		g.Dev = func(r, c int) device.Device {
+			if r == size-1 && c == size-1 {
+				return lrsDev // the cell being RESET is LRS by definition
+			}
+			return background
+		}
+		ResetBias{
+			SelectedWL: size - 1,
+			BLVolts:    map[int]float64{size - 1: 3.0},
+			Vhalf:      1.5, Rdrv: 100, Rdec: 100,
+		}.Apply(g)
+		return mustSolve(t, g).CellVoltage(size-1, size-1)
+	}
+	if lrs, hrs := build(lrsDev), build(hrsDev); lrs >= hrs {
+		t.Errorf("all-LRS background (%.4f) must drop more than all-HRS (%.4f)", lrs, hrs)
+	}
+}
+
+// TestLinearAgreement compares the nonlinear solver against an
+// analytically solvable linear case: a 1x1 "array" is just a voltage
+// divider source -> Rdrv -> device -> Rdec -> ground.
+func TestLinearAgreement(t *testing.T) {
+	p := testParams()
+	dev := p.LRSSelector()
+	g := NewGrid(1, 1, 1e-3, dev)
+	g.BLBottom[0] = Source(3.0, 100)
+	g.WLLeft[0] = Source(0, 100)
+	sol := mustSolve(t, g)
+
+	// Reference: scalar Newton on f(v) = I(v) - (3 - v)/(Rdrv+Rdec) ... the
+	// series resistances carry the same current I, so
+	// Vcell satisfies I(Vcell)*(Rdrv+Rdec) + Vcell = 3 (wire negligible).
+	v := 3.0
+	for i := 0; i < 100; i++ {
+		f := dev.Current(v)*200 + v - 3.0
+		df := dev.Conductance(v)*200 + 1
+		v -= f / df
+	}
+	if got := sol.CellVoltage(0, 0); math.Abs(got-v) > 1e-4 {
+		t.Errorf("1x1 cell voltage = %.6f, analytic %.6f", got, v)
+	}
+}
+
+func TestSolveValidatesGrid(t *testing.T) {
+	p := testParams()
+	g := NewGrid(4, 4, 11.5, p.LRSSelector())
+	g.Dev = nil
+	if _, err := Solve(g, SolverOptions{}); err == nil {
+		t.Error("Solve accepted a grid with no device function")
+	}
+	g2 := NewGrid(4, 4, 11.5, p.LRSSelector())
+	g2.WLLeft = make([]Drive, 3)
+	if _, err := Solve(g2, SolverOptions{}); err == nil {
+		t.Error("Solve accepted mismatched boundary slice")
+	}
+	g3 := NewGrid(4, 4, 11.5, p.LRSSelector())
+	g3.WLLeft[0] = Drive{Driven: true, V: 1, R: 0}
+	if _, err := Solve(g3, SolverOptions{}); err == nil {
+		t.Error("Solve accepted zero source resistance")
+	}
+}
+
+func TestFloatingUnselectedWLRises(t *testing.T) {
+	// With unselected word-lines floating, selected bit-lines pull them
+	// above Vhalf near the hot columns; the solver must still converge
+	// and hold them between ground and Vrst.
+	const size = 16
+	g := resetGrid(t, size, size-1, []int{size - 1}, 3.0, func(rb *ResetBias) {
+		rb.FloatUnselWL = true
+	})
+	sol := mustSolve(t, g)
+	for r := 0; r < size-1; r++ {
+		v := sol.VW[r*size+size-1]
+		if v < -0.01 || v > 3.01 {
+			t.Fatalf("floating WL %d potential %g V out of range", r, v)
+		}
+	}
+}

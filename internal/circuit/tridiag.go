@@ -1,0 +1,30 @@
+package circuit
+
+// SolveTridiag solves the tridiagonal system
+//
+//	b[i]*x[i] + a[i]*x[i-1] + c[i]*x[i+1] = d[i]
+//
+// in place using the Thomas algorithm. a[0] and c[n-1] are ignored.
+// The scratch slices cp and dp must have length n; they let hot callers
+// avoid per-solve allocation. The result is written into x (length n).
+//
+// The caller must guarantee the system is diagonally dominant (true for
+// every conductance matrix this package assembles), so no pivoting is
+// needed.
+func SolveTridiag(a, b, c, d, cp, dp, x []float64) {
+	n := len(b)
+	if n == 0 {
+		return
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		m := b[i] - a[i]*cp[i-1]
+		cp[i] = c[i] / m
+		dp[i] = (d[i] - a[i]*dp[i-1]) / m
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}

@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveDense(a, b, c, d []float64) []float64 {
+	// Reference: Gaussian elimination on the dense tridiagonal matrix.
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		m[i][i] = b[i]
+		if i > 0 {
+			m[i][i-1] = a[i]
+		}
+		if i < n-1 {
+			m[i][i+1] = c[i]
+		}
+		m[i][n] = d[i]
+	}
+	for i := 0; i < n; i++ {
+		p := m[i][i]
+		for j := i; j <= n; j++ {
+			m[i][j] /= p
+		}
+		for k := 0; k < n; k++ {
+			if k == i || m[k][i] == 0 {
+				continue
+			}
+			f := m[k][i]
+			for j := i; j <= n; j++ {
+				m[k][j] -= f * m[i][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x
+}
+
+func TestSolveTridiagMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = -rng.Float64()
+			c[i] = -rng.Float64()
+			b[i] = 2.5 + rng.Float64() // diagonally dominant
+			d[i] = rng.NormFloat64()
+		}
+		cp := make([]float64, n)
+		dp := make([]float64, n)
+		x := make([]float64, n)
+		SolveTridiag(a, b, c, d, cp, dp, x)
+		want := solveDense(a, b, c, d)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g, dense %g", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveTridiagResidualProperty(t *testing.T) {
+	// Property: the solution satisfies the original equations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = -rng.Float64()
+			c[i] = -rng.Float64()
+			b[i] = 3 + rng.Float64()
+			d[i] = rng.NormFloat64() * 10
+		}
+		cp := make([]float64, n)
+		dp := make([]float64, n)
+		x := make([]float64, n)
+		SolveTridiag(a, b, c, d, cp, dp, x)
+		for i := 0; i < n; i++ {
+			r := b[i]*x[i] - d[i]
+			if i > 0 {
+				r += a[i] * x[i-1]
+			}
+			if i < n-1 {
+				r += c[i] * x[i+1]
+			}
+			if math.Abs(r) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTridiagSizeOne(t *testing.T) {
+	cp := make([]float64, 1)
+	dp := make([]float64, 1)
+	x := make([]float64, 1)
+	SolveTridiag([]float64{0}, []float64{4}, []float64{0}, []float64{8}, cp, dp, x)
+	if x[0] != 2 {
+		t.Errorf("1x1 solve: got %g, want 2", x[0])
+	}
+}
+
+func TestSolveTridiagEmpty(t *testing.T) {
+	SolveTridiag(nil, nil, nil, nil, nil, nil, nil) // must not panic
+}

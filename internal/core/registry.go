@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"reramsim/internal/xpoint"
+)
+
+// The named configurations of §VI. Each constructor takes the base array
+// config (usually xpoint.DefaultConfig with calibrated Params) and
+// returns a ready scheme.
+
+// Baseline is the plain 512x512 CP array with Flip-N-Write and a static
+// 3 V RESET.
+func Baseline(cfg xpoint.Config) (*Scheme, error) {
+	return NewScheme("Base", Options{Array: cfg})
+}
+
+// StaticOverdrive applies a flat boosted RESET voltage everywhere (the
+// §IV-A straw man, e.g. 3.7 V): fast but over-RESETs the near cells.
+func StaticOverdrive(cfg xpoint.Config, volts float64) (*Scheme, error) {
+	// Eq. 1/2 keep their anchors, so the higher effective voltages
+	// translate into shorter latency and exponentially lower endurance —
+	// exactly the over-RESET trade-off of Fig. 6a.
+	return NewScheme(fmt.Sprintf("Static-%.2fV", volts),
+		Options{Array: cfg, StaticLevel: volts, MaxLevel: volts})
+}
+
+// Hard combines the prior hardware techniques DSGB + DSWD + D-BL
+// (Table II / §VI).
+func Hard(cfg xpoint.Config) (*Scheme, error) {
+	cfg.DSGB = true
+	cfg.DSWD = true
+	return NewScheme("Hard", Options{Array: cfg, DBL: true})
+}
+
+// HardSys adds the system techniques SCH + RBDL on top of Hard.
+func HardSys(cfg xpoint.Config) (*Scheme, error) {
+	cfg.DSGB = true
+	cfg.DSWD = true
+	return NewScheme("Hard+Sys", Options{Array: cfg, DBL: true, SCH: true, RBDL: true})
+}
+
+// DRVROnly is dynamic RESET voltage regulation with the 3.66 V pump.
+func DRVROnly(cfg xpoint.Config) (*Scheme, error) {
+	return NewScheme("DRVR", Options{Array: cfg, DRVR: true})
+}
+
+// DRVRPR combines DRVR with partition RESET (the intermediate §IV-B
+// configuration whose lifetime collapses to ~1 year).
+func DRVRPR(cfg xpoint.Config) (*Scheme, error) {
+	return NewScheme("DRVR+PR", Options{Array: cfg, DRVR: true, PR: true})
+}
+
+// UDRVRPR is the paper's headline configuration: upgraded DRVR plus
+// partition RESET with the 3.66 V pump.
+func UDRVRPR(cfg xpoint.Config) (*Scheme, error) {
+	return NewScheme("UDRVR+PR", Options{Array: cfg, DRVR: true, UDRVR: true, PR: true})
+}
+
+// UDRVR394 is the §VI UDRVR-3.94 comparison: chase UDRVR+PR's array
+// RESET latency with a taller (3.94 V) pump on 1-bit RESETs instead of
+// partitioning. Multi-bit writes still coalesce current on the word
+// line, which is why it loses to UDRVR+PR.
+func UDRVR394(cfg xpoint.Config) (*Scheme, error) {
+	target, err := PRWorstEff(cfg, MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return NewScheme("UDRVR-3.94", Options{Array: cfg, EffTarget: target, MaxLevel: 3.94})
+}
+
+// PRWorstEff computes the effective Vrst of the array-latency-determining
+// cell (top section, far mux) under DRVR+PR — the target UDRVR equalises
+// toward and UDRVR-3.94 chases with voltage alone.
+func PRWorstEff(cfg xpoint.Config, maxLevel float64) (float64, error) {
+	arr, err := xpoint.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	drvr, err := CalibrateDRVR(arr, maxLevel)
+	if err != nil {
+		return 0, err
+	}
+	return effInContext(arr, drvr, Sections-1, sectionMidRow(Sections-1, Sections, cfg.Size), cfg.DataWidth-1, true)
+}
+
+// Oracle returns the ora-mxm configuration: ideal taps give the array the
+// voltage drop of an mxm array.
+func Oracle(cfg xpoint.Config, m int) (*Scheme, error) {
+	cfg.OracleBL = m
+	cfg.OracleWL = m
+	return NewScheme(fmt.Sprintf("ora-%dx%d", m, m), Options{Array: cfg})
+}

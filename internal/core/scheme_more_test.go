@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"reramsim/internal/write"
+	"reramsim/internal/xpoint"
+)
+
+// TestUDRVR394Scheme: the §VI comparison point — a taller pump chasing
+// UDRVR+PR's latency on 1-bit RESETs.
+func TestUDRVR394Scheme(t *testing.T) {
+	s := mustScheme(t, UDRVR394)
+	if got := s.Pump().Vout; got < 3.66 || got > 3.94 {
+		t.Errorf("UDRVR-3.94 pump output = %.2f V, want in (3.66, 3.94]", got)
+	}
+	if s.Pump().Stages < 2 {
+		t.Errorf("UDRVR-3.94 pump stages = %d, want >= 2", s.Pump().Stages)
+	}
+	// Its level table must exceed 3.66 V somewhere (that's the point of
+	// the taller pump) and stay within 3.94 V.
+	lv := s.Levels()
+	if lv.Max() <= MaxLevel {
+		t.Errorf("UDRVR-3.94 max level %.3f should exceed the 3.66 V pump", lv.Max())
+	}
+	if lv.Max() > 3.94 {
+		t.Errorf("level %.3f beyond the 3.94 V pump", lv.Max())
+	}
+	// Near cells are driven down toward the same effective target.
+	if lv.At(0, 0) >= lv.At(Sections-1, 7) {
+		t.Error("near cells should receive lower levels than the far corner")
+	}
+}
+
+// TestPRWorstEff: the UDRVR calibration target sits between the write
+// threshold and the nominal voltage.
+func TestPRWorstEff(t *testing.T) {
+	target, err := PRWorstEff(testConfig(), MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testConfig().Params
+	if target <= p.VwriteMin || target >= p.Vrst {
+		t.Errorf("PR worst effective Vrst = %.3f, want within (%.2f, %.2f)", target, p.VwriteMin, p.Vrst)
+	}
+}
+
+// TestMapOpPRContexts: the map operation of a PR scheme must reset the
+// queried cell together with its Algorithm 1 partners — and only a
+// single bit for near-decoder columns.
+func TestMapOpPRContexts(t *testing.T) {
+	s := mustScheme(t, DRVRPR)
+	op := s.MapOp()
+	cfg := testConfig()
+	muxW := cfg.MuxWidth()
+
+	near := op(100, 2*muxW+5) // mux 2: Algorithm 1 early-out
+	if len(near.Cols) != 1 {
+		t.Errorf("near-mux map op resets %d cells, want 1", len(near.Cols))
+	}
+	far := op(100, 7*muxW+5) // mux 7: full partition
+	if len(far.Cols) != 4 {
+		t.Errorf("far-mux map op resets %d cells, want 4 (PR partners)", len(far.Cols))
+	}
+	for _, c := range far.Cols {
+		if c%muxW != 5 {
+			t.Errorf("partner column %d not at the queried offset", c)
+		}
+	}
+}
+
+// TestFailedWriteLatencyClamped: an op below the write threshold is
+// flagged but priced at the finite threshold latency.
+func TestFailedWriteLatencyClamped(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rwire = 46.0 // 10 nm wires: the baseline fails at the far corner
+	s, err := NewScheme("fail", Options{Array: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lw write.LineWrite
+	lw.Arrays[0] = write.ArrayWrite{Reset: 1 << 7}
+	c, err := s.CostWrite(cfg.Size-1, cfg.MuxWidth()-1, lw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed {
+		t.Fatal("expected a write failure at 10 nm wires")
+	}
+	if math.IsInf(c.ResetLatency, 1) || c.ResetLatency <= 0 {
+		t.Errorf("failed write latency = %g, want finite positive (clamped)", c.ResetLatency)
+	}
+	if c.ResetLatency > 1e-4 {
+		t.Errorf("clamped latency %g implausibly long", c.ResetLatency)
+	}
+}
+
+// TestDRVRSectionsOption: fewer sections leave a wider within-section
+// spread, so the worst-case write slows down monotonically as sections
+// shrink.
+func TestDRVRSectionsOption(t *testing.T) {
+	cfg := testConfig()
+	prev := 0.0
+	for _, sections := range []int{16, 8, 2} {
+		s, err := NewScheme("drvr-n", Options{Array: cfg, DRVR: true, DRVRSections: sections})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Levels().Sections != sections {
+			t.Fatalf("level table has %d sections, want %d", s.Levels().Sections, sections)
+		}
+		wc, err := s.WorstWriteCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wc.ResetLatency < prev {
+			t.Errorf("worst latency should not improve with fewer sections: %d sections -> %.0f ns (prev %.0f)",
+				sections, wc.ResetLatency*1e9, prev*1e9)
+		}
+		prev = wc.ResetLatency
+	}
+}
+
+// TestSchemeConcurrentCosting: the memoized cost table must be safe under
+// concurrent writers (the simulator costs from one goroutine today, but
+// the type documents concurrency safety).
+func TestSchemeConcurrentCosting(t *testing.T) {
+	s := mustScheme(t, UDRVRPR)
+	var lw write.LineWrite
+	lw.Arrays[3] = write.ArrayWrite{Reset: 0b10000001}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(row int) {
+			_, err := s.CostWrite(row*60, row*7, lw)
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOracleSchemeMapsFlat: the ora-64 oracle's latency map must be far
+// flatter than the baseline's (taps cap the position dependence).
+func TestOracleSchemeMapsFlat(t *testing.T) {
+	ora := mustScheme(t, func(c xpoint.Config) (*Scheme, error) { return Oracle(c, 64) })
+	base := mustScheme(t, Baseline)
+	om, err := ora.LatencyMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := base.LatencyMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oSpread := om.Max() / om.Min()
+	bSpread := bm.Max() / bm.Min()
+	if oSpread > bSpread/4 {
+		t.Errorf("oracle latency spread %.1fx not much flatter than baseline %.1fx", oSpread, bSpread)
+	}
+}

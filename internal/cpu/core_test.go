@@ -1,0 +1,97 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func mustCore(t *testing.T) *Core {
+	t.Helper()
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Window = 0
+	if _, err := New(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestAdvanceTime(t *testing.T) {
+	c := mustCore(t)
+	dt := c.Advance(6400)
+	want := 6400 / (2.0 * 3.2e9)
+	if math.Abs(dt-want) > 1e-18 {
+		t.Errorf("Advance(6400) = %g s, want %g", dt, want)
+	}
+	if c.InstrPos() != 6400 {
+		t.Errorf("InstrPos = %d", c.InstrPos())
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	c := mustCore(t)
+	for i := 0; i < 8; i++ {
+		if c.Blocked() {
+			t.Fatalf("blocked with %d outstanding (MSHRs=8)", c.Outstanding())
+		}
+		c.IssueRead()
+		c.Advance(1) // tiny gaps: window is not the limit
+	}
+	if !c.Blocked() {
+		t.Error("must block when all 8 MSHRs are busy")
+	}
+	c.CompleteOldest()
+	if c.Blocked() {
+		t.Error("one free MSHR should unblock the core")
+	}
+}
+
+// TestWindowLimit: with few outstanding misses but a long dependent
+// stretch, the window wraps around the oldest miss and stalls the core.
+func TestWindowLimit(t *testing.T) {
+	c := mustCore(t)
+	c.IssueRead()
+	c.Advance(127)
+	if c.Blocked() {
+		t.Error("window not yet exhausted at 127 instructions")
+	}
+	c.Advance(1)
+	if !c.Blocked() {
+		t.Error("must block once the window wraps the outstanding miss")
+	}
+	c.CompleteOldest()
+	if c.Blocked() {
+		t.Error("retiring the miss should unblock")
+	}
+}
+
+// TestMLP: independent misses inside one window overlap — the essence of
+// the interval model.
+func TestMLP(t *testing.T) {
+	c := mustCore(t)
+	// Four reads spaced 16 instructions apart all fit in the window.
+	for i := 0; i < 4; i++ {
+		c.IssueRead()
+		c.Advance(16)
+		if i < 3 && c.Blocked() {
+			t.Fatalf("read %d should overlap (outstanding %d)", i, c.Outstanding())
+		}
+	}
+	if c.Outstanding() != 4 {
+		t.Errorf("outstanding = %d, want 4", c.Outstanding())
+	}
+}
+
+func TestCompleteOldestEmpty(t *testing.T) {
+	c := mustCore(t)
+	c.CompleteOldest() // must not panic
+	if c.Outstanding() != 0 {
+		t.Error("phantom outstanding read")
+	}
+}

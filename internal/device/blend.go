@@ -1,0 +1,55 @@
+package device
+
+import "fmt"
+
+// blend mixes two devices linearly: I = w*Ia + (1-w)*Ib. It models the
+// average load of a population of cells of which a fraction w is in the
+// first state — exact for parallel populations, which is how half-selected
+// background cells aggregate on a line.
+type blend struct {
+	a, b Device
+	w    float64
+}
+
+var _ Device = blend{}
+
+// Blend returns the w:1-w mixture of devices a and b.
+func Blend(a, b Device, w float64) Device {
+	if w < 0 || w > 1 {
+		panic(fmt.Sprintf("device: blend weight %g outside [0,1]", w))
+	}
+	return blend{a: a, b: b, w: w}
+}
+
+func (m blend) Current(v float64) float64 {
+	return m.w*m.a.Current(v) + (1-m.w)*m.b.Current(v)
+}
+
+func (m blend) Conductance(v float64) float64 {
+	return m.w*m.a.Conductance(v) + (1-m.w)*m.b.Conductance(v)
+}
+
+func (m blend) SecantConductance(v float64) float64 {
+	if v == 0 {
+		return m.Conductance(0)
+	}
+	return m.Current(v) / v
+}
+
+// sum is the parallel combination of two devices: I = Ia + Ib.
+type sum struct{ a, b Device }
+
+var _ Device = sum{}
+
+// Sum returns the parallel combination of a and b — e.g. a switching
+// cell in parallel with its selector's subthreshold leakage path.
+func Sum(a, b Device) Device { return sum{a: a, b: b} }
+
+func (s sum) Current(v float64) float64     { return s.a.Current(v) + s.b.Current(v) }
+func (s sum) Conductance(v float64) float64 { return s.a.Conductance(v) + s.b.Conductance(v) }
+func (s sum) SecantConductance(v float64) float64 {
+	if v == 0 {
+		return s.Conductance(0)
+	}
+	return s.Current(v) / v
+}

@@ -1,0 +1,47 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlendEndpoints(t *testing.T) {
+	p := DefaultParams()
+	lrs, hrs := p.LRSCell(), p.HRSCell()
+	all := Blend(lrs, hrs, 1)
+	none := Blend(lrs, hrs, 0)
+	for _, v := range []float64{0.5, 1.5, 3.0} {
+		if all.Current(v) != lrs.Current(v) {
+			t.Errorf("Blend(w=1) differs from LRS at %gV", v)
+		}
+		if none.Current(v) != hrs.Current(v) {
+			t.Errorf("Blend(w=0) differs from HRS at %gV", v)
+		}
+	}
+}
+
+func TestBlendLinearInWeight(t *testing.T) {
+	p := DefaultParams()
+	lrs, hrs := p.LRSCell(), p.HRSCell()
+	f := func(rawW, rawV float64) bool {
+		w := math.Abs(math.Mod(rawW, 1))
+		v := math.Mod(rawV, 4)
+		got := Blend(lrs, hrs, w).Current(v)
+		want := w*lrs.Current(v) + (1-w)*hrs.Current(v)
+		return math.Abs(got-want) <= 1e-18+1e-12*math.Abs(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlendPanics(t *testing.T) {
+	p := DefaultParams()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range weight did not panic")
+		}
+	}()
+	Blend(p.LRSCell(), p.HRSCell(), 1.5)
+}

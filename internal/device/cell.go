@@ -1,0 +1,231 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the resistance state of a ReRAM cell.
+type State uint8
+
+const (
+	// HRS is the high resistance state, storing "0" (after a RESET).
+	HRS State = iota
+	// LRS is the low resistance state, storing "1" (after a SET).
+	LRS
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case HRS:
+		return "HRS"
+	case LRS:
+		return "LRS"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Params collects the cell, selector and fitted-equation constants of
+// Table I plus the Eq. 1 / Eq. 2 calibration. The zero value is not
+// usable; call DefaultParams or fill every field.
+type Params struct {
+	Ion       float64 // LRS full-select RESET current (A); Table I: 90 uA
+	Kr        float64 // selector nonlinear selectivity; Table I: 1000
+	Vrst      float64 // nominal full-select RESET voltage (V); Table I: 3
+	Vset      float64 // nominal full-select SET voltage (V); Table I: 3
+	Vread     float64 // read voltage (V); Table I: 1.8
+	VwriteMin float64 // effective voltage below which a RESET fails; 1.7 V
+
+	OnOffRatio float64 // LRS/HRS current ratio of the memory element
+	RLRS       float64 // ohmic LRS memory-element resistance (ohm)
+
+	// Eq. 1 calibration: Trst(Veff) = Trst0 * exp(-K*(Veff-Vrst)).
+	Trst0 float64 // no-drop RESET latency at Veff = Vrst (s); 15 ns
+	K     float64 // exponential latency slope (1/V)
+
+	// Eq. 2 calibration: Endurance(Trst) = (Trst/T0)^C.
+	T0 float64 // endurance time constant (s)
+	C  float64 // endurance exponent; the paper uses 3
+
+	Tset float64 // SET pulse latency (s)
+}
+
+// Calibration constants derived in DESIGN.md §3: K is fitted so the
+// baseline 512x512 worst-case cell (Veff = 1.7 V) yields the paper's
+// 2.3 us array RESET latency, and T0 so a no-drop cell endures 5e6 writes.
+const (
+	defaultTrst0     = 15e-9
+	defaultWorstVeff = 1.7
+	defaultWorstTrst = 2.3e-6
+	defaultEndur0    = 5e6
+	defaultC         = 3.0
+)
+
+// DefaultParams returns the Table I / §II-C model calibrated per
+// DESIGN.md §3 (K ≈ 3.87 /V, T0 ≈ 87.7 ps).
+func DefaultParams() Params {
+	k := math.Log(defaultWorstTrst/defaultTrst0) / (3.0 - defaultWorstVeff)
+	t0 := defaultTrst0 / math.Pow(defaultEndur0, 1/defaultC)
+	return Params{
+		Ion:        90e-6,
+		Kr:         1000,
+		Vrst:       3.0,
+		Vset:       3.0,
+		Vread:      1.8,
+		VwriteMin:  1.7,
+		OnOffRatio: 100,
+		RLRS:       15e3,
+		Trst0:      defaultTrst0,
+		K:          k,
+		T0:         t0,
+		C:          defaultC,
+		Tset:       15e-9,
+	}
+}
+
+// Validate reports an error when a parameter is outside its physical range.
+func (p Params) Validate() error {
+	switch {
+	case p.Ion <= 0:
+		return fmt.Errorf("device: Ion must be positive, got %g", p.Ion)
+	case p.Kr <= 1:
+		return fmt.Errorf("device: Kr must exceed 1, got %g", p.Kr)
+	case p.Vrst <= 0 || p.Vset <= 0 || p.Vread <= 0:
+		return fmt.Errorf("device: operation voltages must be positive")
+	case p.VwriteMin <= 0 || p.VwriteMin >= p.Vrst:
+		return fmt.Errorf("device: VwriteMin %g must lie in (0, Vrst)", p.VwriteMin)
+	case p.OnOffRatio <= 1:
+		return fmt.Errorf("device: OnOffRatio must exceed 1, got %g", p.OnOffRatio)
+	case p.RLRS < 0 || p.RLRS*p.Ion >= p.Vrst:
+		return fmt.Errorf("device: RLRS %g ohm must drop less than Vrst at Ion", p.RLRS)
+	case p.Trst0 <= 0 || p.K <= 0 || p.T0 <= 0 || p.C <= 0:
+		return fmt.Errorf("device: latency/endurance calibration must be positive")
+	case p.Tset <= 0:
+		return fmt.Errorf("device: Tset must be positive, got %g", p.Tset)
+	}
+	return nil
+}
+
+// LRSSelector returns the composite LRS cell + access device.
+func (p Params) LRSSelector() *Selector {
+	return NewSelector(p.Ion, p.Vrst, p.Kr)
+}
+
+// HRSSelector returns the composite HRS cell + access device, whose
+// current is OnOffRatio times smaller at every voltage.
+func (p Params) HRSSelector() *Selector {
+	return p.LRSSelector().Scale(1 / p.OnOffRatio)
+}
+
+// LRSCell returns the default LRS cell model used by the array solvers: a
+// threshold-switching, compliance-limited device (see SaturatingCell)
+// calibrated to draw Ion at Vrst, Ion/Kr at Vrst/2, and half its
+// compliance current at the write-failure knee VwriteMin.
+func (p Params) LRSCell() Device {
+	return NewSaturatingCell(p.Ion, p.Vrst, p.Kr, p.VwriteMin)
+}
+
+// HRSCell returns the HRS cell model: the same switching characteristic
+// at OnOffRatio-times smaller compliance current.
+func (p Params) HRSCell() Device {
+	return p.LRSCell().(*SaturatingCell).Scale(1 / p.OnOffRatio)
+}
+
+// CompositeLRSCell returns the alternative ohmic-element-plus-selector
+// model (see CompositeCell). The read path uses it (a non-switching cell
+// is ohmic above the selector threshold), and the solver ablation benches
+// compare it against the default saturating model on the RESET path.
+func (p Params) CompositeLRSCell() Device {
+	return NewCompositeCell(p.Ion, p.Vrst, p.Kr, p.RLRS)
+}
+
+// CompositeHRSCell is the HRS variant of CompositeLRSCell: the same
+// selector behind an OnOffRatio-times larger memory-element resistance.
+func (p Params) CompositeHRSCell() Device {
+	lrs := p.CompositeLRSCell().(*CompositeCell)
+	return &CompositeCell{R: p.RLRS * p.OnOffRatio, Sel: lrs.Sel}
+}
+
+// Cell returns the device model for state st.
+func (p Params) Cell(st State) Device {
+	if st == LRS {
+		return p.LRSCell()
+	}
+	return p.HRSCell()
+}
+
+// SubthresholdLeak returns the selector's soft subthreshold conduction:
+// the sinh law anchored at Ion/Kr for half select. Below the switching
+// knee this path dominates a cell's current, which is what makes the
+// access device's ON/OFF ratio (the paper's Fig. 20 sweep) matter for
+// sneak current.
+func (p Params) SubthresholdLeak() Device {
+	return NewSelector(p.Ion, p.Vrst, p.Kr)
+}
+
+// BackgroundCell returns the aggregate device model of unselected and
+// half-selected cells: the switching characteristic of an lrsFrac:1
+// LRS/HRS population in parallel with the selector's subthreshold leak.
+// Both the fast ladder model and the reference 2-D solver use it, so the
+// cross-solver validation stays exact.
+func (p Params) BackgroundCell(lrsFrac float64) Device {
+	return Sum(Blend(p.LRSCell(), p.HRSCell(), lrsFrac), p.SubthresholdLeak())
+}
+
+// TabulatedCell returns a fast table-backed version of Cell(st), sampled
+// up to just beyond the highest RESET voltage any technique applies.
+func (p Params) TabulatedCell(st State) Device {
+	return Tabulate(p.Cell(st), p.Vrst*1.7, 4096)
+}
+
+// ResetLatency evaluates Eq. 1 for an effective RESET voltage veff.
+// It returns math.Inf(1) when veff is below the write-failure threshold,
+// because such a RESET never completes (the paper's "write failure").
+func (p Params) ResetLatency(veff float64) float64 {
+	if veff < p.VwriteMin {
+		return math.Inf(1)
+	}
+	return p.Trst0 * math.Exp(-p.K*(veff-p.Vrst))
+}
+
+// Endurance evaluates Eq. 2 for a RESET latency trst. Infinite latency
+// (a failed write) maps to infinite endurance: the cell is never stressed.
+func (p Params) Endurance(trst float64) float64 {
+	if math.IsInf(trst, 1) {
+		return math.Inf(1)
+	}
+	return math.Pow(trst/p.T0, p.C)
+}
+
+// EnduranceAtVoltage composes Eq. 1 and Eq. 2: the write endurance of a
+// cell that is always RESET at effective voltage veff.
+func (p Params) EnduranceAtVoltage(veff float64) float64 {
+	return p.Endurance(p.ResetLatency(veff))
+}
+
+// RecalibrateEq1 refits the Eq. 1 constants so a cell at effective
+// voltage vBest takes latBest and one at vWorst takes latWorst, keeping
+// the endurance law (Eq. 2) anchored at latBest -> Endurance(latBest)
+// with the existing T0 and C. It returns an error for anchors that do
+// not define a decreasing exponential.
+func (p Params) RecalibrateEq1(vBest, latBest, vWorst, latWorst float64) (Params, error) {
+	if !(vBest > vWorst) || !(latWorst > latBest) || latBest <= 0 {
+		return Params{}, fmt.Errorf("device: bad Eq.1 anchors (%g V, %g s) / (%g V, %g s)",
+			vBest, latBest, vWorst, latWorst)
+	}
+	out := p
+	out.K = math.Log(latWorst/latBest) / (vBest - vWorst)
+	out.Trst0 = latBest * math.Exp(out.K*(vBest-p.Vrst))
+	return out, nil
+}
+
+// VoltageForLatency inverts Eq. 1: the effective voltage at which a RESET
+// takes trst seconds.
+func (p Params) VoltageForLatency(trst float64) float64 {
+	if trst <= 0 {
+		panic(fmt.Sprintf("device: non-positive latency %g", trst))
+	}
+	return p.Vrst - math.Log(trst/p.Trst0)/p.K
+}

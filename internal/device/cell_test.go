@@ -1,0 +1,127 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mods := []func(*Params){
+		func(p *Params) { p.Ion = 0 },
+		func(p *Params) { p.Kr = 1 },
+		func(p *Params) { p.Vrst = -1 },
+		func(p *Params) { p.VwriteMin = 5 },
+		func(p *Params) { p.OnOffRatio = 0.5 },
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.Tset = 0 },
+	}
+	for i, mod := range mods {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid params", i)
+		}
+	}
+}
+
+// TestEq1Calibration checks the DESIGN.md §3 anchors: 15 ns at the nominal
+// 3 V and the paper's 2.3 us at the worst-case 1.7 V effective voltage.
+func TestEq1Calibration(t *testing.T) {
+	p := DefaultParams()
+	if got := p.ResetLatency(3.0); math.Abs(got-15e-9)/15e-9 > 1e-9 {
+		t.Errorf("Trst(3.0V) = %g, want 15ns", got)
+	}
+	if got := p.ResetLatency(1.7); math.Abs(got-2.3e-6)/2.3e-6 > 1e-6 {
+		t.Errorf("Trst(1.7V) = %g, want 2.3us", got)
+	}
+}
+
+// TestEq2Calibration checks the endurance anchors: 5e6 writes for a
+// no-drop cell and >1e12 for the baseline worst-case cell, matching the
+// paper's Fig. 4d extremes.
+func TestEq2Calibration(t *testing.T) {
+	p := DefaultParams()
+	if got := p.Endurance(15e-9); math.Abs(got-5e6)/5e6 > 1e-6 {
+		t.Errorf("Endurance(15ns) = %g, want 5e6", got)
+	}
+	if got := p.EnduranceAtVoltage(1.7); got < 1e12 {
+		t.Errorf("worst-case cell endurance = %g, want > 1e12", got)
+	}
+}
+
+// TestOverResetAnchor reproduces the §IV-A static 3.7 V observation: a
+// no-drop cell reset at 3.7 V effective voltage tolerates only a few
+// thousand writes (the paper reports 1.5K-5K).
+func TestOverResetAnchor(t *testing.T) {
+	p := DefaultParams()
+	e := p.EnduranceAtVoltage(3.7)
+	if e < 500 || e > 50e3 {
+		t.Errorf("over-RESET endurance at 3.7V = %g, want O(1e3)", e)
+	}
+}
+
+func TestWriteFailureThreshold(t *testing.T) {
+	p := DefaultParams()
+	if !math.IsInf(p.ResetLatency(1.69), 1) {
+		t.Error("RESET below 1.7V must fail (infinite latency)")
+	}
+	if !math.IsInf(p.Endurance(math.Inf(1)), 1) {
+		t.Error("failed write must not consume endurance")
+	}
+}
+
+func TestLatencyMonotoneInVoltage(t *testing.T) {
+	p := DefaultParams()
+	f := func(raw float64) bool {
+		v := 1.7 + math.Mod(math.Abs(raw), 2.0) // [1.7, 3.7)
+		return p.ResetLatency(v+0.01) < p.ResetLatency(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageForLatencyInvertsEq1(t *testing.T) {
+	p := DefaultParams()
+	f := func(raw float64) bool {
+		v := 1.8 + math.Mod(math.Abs(raw), 1.8)
+		trst := p.ResetLatency(v)
+		back := p.VoltageForLatency(trst)
+		return math.Abs(back-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatencyEnduranceTradeoff verifies the §II-B trade-off: shorter
+// RESET latency always means lower endurance.
+func TestLatencyEnduranceTradeoff(t *testing.T) {
+	p := DefaultParams()
+	prevE := 0.0
+	for v := 3.7; v >= 1.7; v -= 0.1 {
+		e := p.EnduranceAtVoltage(v)
+		if e <= prevE {
+			t.Fatalf("endurance must grow as effective voltage falls: V=%g e=%g prev=%g", v, e, prevE)
+		}
+		prevE = e
+	}
+}
+
+func TestHRSSelectorWeaker(t *testing.T) {
+	p := DefaultParams()
+	lrs, hrs := p.LRSSelector(), p.HRSSelector()
+	for _, v := range []float64{0.5, 1.5, 3.0} {
+		ratio := lrs.Current(v) / hrs.Current(v)
+		if math.Abs(ratio-p.OnOffRatio)/p.OnOffRatio > 1e-9 {
+			t.Errorf("LRS/HRS ratio at %gV = %g, want %g", v, ratio, p.OnOffRatio)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompositeCalibration(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	if got := c.Current(3.0); math.Abs(got-90e-6)/90e-6 > 1e-6 {
+		t.Errorf("I(3.0V) = %g, want 90uA", got)
+	}
+	if got, want := c.Current(1.5), 90e-9; math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("I(1.5V) = %g, want %g (Kr=1000)", got, want)
+	}
+}
+
+// TestCompositeStiffness is the reason the composite model exists: under a
+// a modest voltage sag the ohmic element keeps the RESET current high,
+// unlike a pure sinh device which collapses exponentially.
+func TestCompositeStiffness(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	s := NewSelector(90e-6, 3.0, 1000)
+	vc, vs := c.Current(2.6), s.Current(2.6)
+	if vc < 4*vs {
+		t.Errorf("composite I(2.6V)=%g should stay far above pure-sinh %g", vc, vs)
+	}
+	// Roughly ohmic above the knee: dropping 0.4V of headroom removes
+	// about 0.4V/RLRS of current.
+	wantDelta := 0.4 / 15e3
+	gotDelta := 90e-6 - vc
+	if math.Abs(gotDelta-wantDelta)/wantDelta > 0.35 {
+		t.Errorf("composite ohmic region slope off: delta I = %g, want ~%g", gotDelta, wantDelta)
+	}
+}
+
+func TestCompositeOddSymmetry(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 4)
+		return math.Abs(c.Current(v)+c.Current(-v)) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeMonotoneContinuous(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	prev := 0.0
+	for v := 0.0; v <= 4.5; v += 0.005 {
+		cur := c.Current(v)
+		if cur < prev {
+			t.Fatalf("current decreased at v=%g: %g < %g", v, cur, prev)
+		}
+		if cur-prev > 120e-6*0.005/15e3*15e3 { // no wild jumps: bounded by ~dV/R plus slack
+			// guard left intentionally loose; continuity is the point
+		}
+		prev = cur
+	}
+}
+
+func TestCompositeConductanceIsDerivative(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	const h = 1e-6
+	for _, v := range []float64{0.4, 1.2, 1.8, 2.5, 3.0, 3.4} {
+		numeric := (c.Current(v+h) - c.Current(v-h)) / (2 * h)
+		got := c.Conductance(v)
+		if math.Abs(got-numeric)/math.Max(numeric, 1e-30) > 1e-3 {
+			t.Errorf("Conductance(%g)=%g, numeric %g", v, got, numeric)
+		}
+	}
+}
+
+func TestCompositeSeriesKVL(t *testing.T) {
+	// The internal split must satisfy u + R*I = v at every operating point.
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	for _, v := range []float64{0.5, 1.5, 2.2, 3.0, 3.66} {
+		i := c.Current(v)
+		u := c.selectorVoltage(v)
+		if math.Abs(u+c.R*i-v) > 1e-9 {
+			t.Errorf("KVL violated at v=%g: u=%g, R*I=%g", v, u, c.R*i)
+		}
+	}
+}
+
+func TestCompositePanics(t *testing.T) {
+	for _, tc := range []struct{ ifs, vfs, kr, r float64 }{
+		{0, 3, 1000, 15e3},
+		{90e-6, 3, 1000, -1},
+		{90e-6, 3, 1000, 40e3}, // R*Ion > Vrst: no headroom
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCompositeCell(%g,%g,%g,%g) did not panic", tc.ifs, tc.vfs, tc.kr, tc.r)
+				}
+			}()
+			NewCompositeCell(tc.ifs, tc.vfs, tc.kr, tc.r)
+		}()
+	}
+}
+
+func TestHRSCellWeaker(t *testing.T) {
+	p := DefaultParams()
+	lrs, hrs := p.LRSCell(), p.HRSCell()
+	// At half select the selector dominates both states, so the contrast
+	// is compressed; above the knee the memory element dominates and the
+	// full OnOff contrast shows.
+	if hrs.Current(1.5) >= lrs.Current(1.5) {
+		t.Error("HRS must conduct less than LRS even at half select")
+	}
+	for _, v := range []float64{2.5, 3.0} {
+		if hrs.Current(v) >= lrs.Current(v)/10 {
+			t.Errorf("HRS current at %gV (%g) not well below LRS (%g)", v, hrs.Current(v), lrs.Current(v))
+		}
+	}
+}
+
+func TestTabulatedMatchesSource(t *testing.T) {
+	p := DefaultParams()
+	src := p.LRSCell()
+	tab := Tabulate(src, 5.1, 4096)
+	maxRel := 0.0
+	for v := -5.0; v <= 5.0; v += 0.0137 {
+		want := src.Current(v)
+		got := tab.Current(v)
+		denom := math.Max(math.Abs(want), 1e-9)
+		if rel := math.Abs(got-want) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 5e-3 {
+		t.Errorf("tabulated device deviates by %g (rel), want < 0.5%%", maxRel)
+	}
+	if tab.SecantConductance(0) != src.Conductance(0) {
+		t.Error("tabulated secant at 0 must equal source small-signal conductance")
+	}
+}
+
+func TestTabulatedExtrapolation(t *testing.T) {
+	p := DefaultParams()
+	// Use the composite model: it keeps a strictly positive slope at the
+	// table edge, so linear extrapolation must keep increasing.
+	tab := Tabulate(p.CompositeLRSCell(), 4.0, 1024)
+	if tab.Current(4.5) <= tab.Current(4.0) {
+		t.Error("extrapolated current must keep increasing")
+	}
+	// The flat-topped saturating model must at least never decrease.
+	sat := Tabulate(p.LRSCell(), 4.0, 1024)
+	if sat.Current(4.5) < sat.Current(4.0) {
+		t.Error("extrapolated current must not decrease")
+	}
+}
+
+func TestTabulatePanics(t *testing.T) {
+	p := DefaultParams()
+	defer func() {
+		if recover() == nil {
+			t.Error("Tabulate with tiny n did not panic")
+		}
+	}()
+	Tabulate(p.LRSCell(), 4.0, 2)
+}
+
+func TestCellAccessors(t *testing.T) {
+	p := DefaultParams()
+	if p.Cell(LRS).Current(3.0) <= p.Cell(HRS).Current(3.0) {
+		t.Error("Cell(LRS) must out-conduct Cell(HRS)")
+	}
+	if got := p.TabulatedCell(LRS).Current(3.0); math.Abs(got-90e-6)/90e-6 > 1e-2 {
+		t.Errorf("TabulatedCell(LRS) I(3V) = %g, want ~90uA", got)
+	}
+}

@@ -1,0 +1,149 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// Supplementary tests for the secondary device interfaces: derivative
+// consistency of the wrapper types, state stringers, and the calibration
+// helpers whose main consumers live in other packages.
+
+func TestStateString(t *testing.T) {
+	if HRS.String() != "HRS" || LRS.String() != "LRS" {
+		t.Errorf("state strings: %s / %s", HRS, LRS)
+	}
+	if State(9).String() != "State(9)" {
+		t.Errorf("unknown state renders as %s", State(9))
+	}
+}
+
+func TestBlendDerivativeConsistency(t *testing.T) {
+	p := DefaultParams()
+	d := Blend(p.LRSCell(), p.HRSCell(), 0.7)
+	const h = 1e-6
+	for _, v := range []float64{0.4, 1.5, 1.8} {
+		numeric := (d.Current(v+h) - d.Current(v-h)) / (2 * h)
+		if numeric < 1e-10 {
+			continue // flat compliance region: finite differences underflow
+		}
+		if got := d.Conductance(v); math.Abs(got-numeric)/numeric > 1e-3 {
+			t.Errorf("blend Conductance(%g) = %g, numeric %g", v, got, numeric)
+		}
+	}
+	if got, want := d.SecantConductance(2.0), d.Current(2.0)/2.0; got != want {
+		t.Errorf("blend secant = %g, want %g", got, want)
+	}
+	if d.SecantConductance(0) != d.Conductance(0) {
+		t.Error("blend secant at 0 must be the small-signal conductance")
+	}
+}
+
+func TestSumDevice(t *testing.T) {
+	p := DefaultParams()
+	a, b := p.LRSCell(), p.SubthresholdLeak()
+	s := Sum(a, b)
+	for _, v := range []float64{0.5, 1.5, 3.0} {
+		if got, want := s.Current(v), a.Current(v)+b.Current(v); math.Abs(got-want) > 1e-18 {
+			t.Errorf("sum current at %g: %g != %g", v, got, want)
+		}
+		if got, want := s.Conductance(v), a.Conductance(v)+b.Conductance(v); math.Abs(got-want) > 1e-18 {
+			t.Errorf("sum conductance at %g: %g != %g", v, got, want)
+		}
+	}
+	if got, want := s.SecantConductance(1.5), s.Current(1.5)/1.5; got != want {
+		t.Errorf("sum secant = %g, want %g", got, want)
+	}
+	if s.SecantConductance(0) != s.Conductance(0) {
+		t.Error("sum secant at 0 must be small-signal")
+	}
+}
+
+// TestBackgroundCellFloor: the background load never drops below the
+// subthreshold leak and never exceeds cell-plus-leak.
+func TestBackgroundCellFloor(t *testing.T) {
+	p := DefaultParams()
+	bg := p.BackgroundCell(1.0)
+	leak := p.SubthresholdLeak()
+	lrs := p.LRSCell()
+	for v := 0.1; v <= 3.0; v += 0.1 {
+		got := bg.Current(v)
+		if got < leak.Current(v) {
+			t.Fatalf("background below the leak floor at %g V", v)
+		}
+		if got > lrs.Current(v)+leak.Current(v)+1e-18 {
+			t.Fatalf("background above cell+leak at %g V", v)
+		}
+	}
+}
+
+func TestCompositeHRSCell(t *testing.T) {
+	p := DefaultParams()
+	lrs, hrs := p.CompositeLRSCell(), p.CompositeHRSCell()
+	if hrs.Current(3.0) >= lrs.Current(3.0)/10 {
+		t.Error("composite HRS must conduct far less than LRS at full select")
+	}
+	if hrs.Current(1.0) > lrs.Current(1.0) {
+		t.Error("composite HRS above LRS at low bias")
+	}
+}
+
+func TestRecalibrateEq1(t *testing.T) {
+	p := DefaultParams()
+	q, err := p.RecalibrateEq1(2.9, 20e-9, 1.9, 3e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.ResetLatency(2.9); math.Abs(got-20e-9)/20e-9 > 1e-9 {
+		t.Errorf("recalibrated best latency = %g", got)
+	}
+	if got := q.ResetLatency(1.9); math.Abs(got-3e-6)/3e-6 > 1e-9 {
+		t.Errorf("recalibrated worst latency = %g", got)
+	}
+	if _, err := p.RecalibrateEq1(1.9, 20e-9, 2.9, 3e-6); err == nil {
+		t.Error("inverted voltage anchors accepted")
+	}
+	if _, err := p.RecalibrateEq1(2.9, 3e-6, 1.9, 20e-9); err == nil {
+		t.Error("inverted latency anchors accepted")
+	}
+}
+
+func TestSelectorGammaAccessor(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	if s.Gamma() <= 0 {
+		t.Error("gamma must be positive")
+	}
+}
+
+func TestSaturatingSecant(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	if s.SecantConductance(0) != s.Conductance(0) {
+		t.Error("secant at 0 must be small-signal")
+	}
+	if got, want := s.SecantConductance(2.0), s.Current(2.0)/2.0; got != want {
+		t.Errorf("secant = %g, want %g", got, want)
+	}
+}
+
+func TestCompositeSecantAndNegative(t *testing.T) {
+	c := NewCompositeCell(90e-6, 3.0, 1000, 15e3)
+	if c.SecantConductance(0) != c.Conductance(0) {
+		t.Error("composite secant at 0 must be small-signal")
+	}
+	if got, want := c.SecantConductance(2.5), c.Current(2.5)/2.5; got != want {
+		t.Errorf("composite secant = %g, want %g", got, want)
+	}
+	if c.Conductance(-2.0) != c.Conductance(2.0) {
+		t.Error("composite conductance must be even in voltage")
+	}
+}
+
+func TestVoltageForLatencyPanics(t *testing.T) {
+	p := DefaultParams()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive latency did not panic")
+		}
+	}()
+	p.VoltageForLatency(0)
+}

@@ -1,0 +1,15 @@
+// Package device models the ReRAM cell, its bipolar access device
+// (selector), and the process-technology parameters used throughout the
+// simulator.
+//
+// The package implements the two fitted equations the paper builds on:
+//
+//	Eq. 1: Trst = Trst0 * exp(-k * (Veff - VrstNominal))   (RESET latency)
+//	Eq. 2: Endurance = (Trst / T0)^C                       (cell endurance)
+//
+// plus a symmetric sinh-law selector whose nonlinear selectivity Kr is
+// defined at half bias: I(V/2) = I(V)/Kr.
+//
+// All voltages are volts, currents amperes, resistances ohms, times
+// seconds unless a name says otherwise.
+package device

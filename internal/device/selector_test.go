@@ -1,0 +1,111 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorCalibration(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	if got := s.Current(3.0); math.Abs(got-90e-6) > 1e-12 {
+		t.Errorf("full-select current = %g, want 90uA", got)
+	}
+	half := s.Current(1.5)
+	want := 90e-6 / 1000
+	if math.Abs(half-want)/want > 1e-6 {
+		t.Errorf("half-select current = %g, want %g (Kr=1000)", half, want)
+	}
+}
+
+func TestSelectorSymmetry(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	f := func(v float64) bool {
+		v = math.Mod(v, 4) // keep sinh in range
+		return math.Abs(s.Current(v)+s.Current(-v)) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorMonotone(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	prev := s.Current(0)
+	for v := 0.01; v <= 4.0; v += 0.01 {
+		cur := s.Current(v)
+		if cur <= prev {
+			t.Fatalf("current not strictly increasing at v=%g: %g <= %g", v, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSelectorConductanceIsDerivative(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	const h = 1e-7
+	for _, v := range []float64{0, 0.3, 1.5, 2.9, 3.5} {
+		numeric := (s.Current(v+h) - s.Current(v-h)) / (2 * h)
+		got := s.Conductance(v)
+		if math.Abs(got-numeric)/math.Max(numeric, 1e-30) > 1e-4 {
+			t.Errorf("Conductance(%g) = %g, numeric derivative %g", v, got, numeric)
+		}
+	}
+}
+
+func TestSecantConductance(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	if got, want := s.SecantConductance(0), s.Conductance(0); math.Abs(got-want) > 1e-18 {
+		t.Errorf("SecantConductance(0) = %g, want small-signal %g", got, want)
+	}
+	v := 2.0
+	if got, want := s.SecantConductance(v), s.Current(v)/v; got != want {
+		t.Errorf("SecantConductance(%g) = %g, want %g", v, got, want)
+	}
+	// The secant conductance of a convex increasing I-V law grows with |v|.
+	if s.SecantConductance(3.0) <= s.SecantConductance(1.0) {
+		t.Error("secant conductance should grow with voltage for a sinh law")
+	}
+}
+
+func TestSelectorScale(t *testing.T) {
+	s := NewSelector(90e-6, 3.0, 1000)
+	h := s.Scale(0.01)
+	for _, v := range []float64{0.5, 1.5, 3.0} {
+		if got, want := h.Current(v), s.Current(v)*0.01; math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("scaled current at %g = %g, want %g", v, got, want)
+		}
+	}
+	// Scaling must not mutate the original.
+	if s.Current(3.0) != 90e-6 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestSelectorKrSweep(t *testing.T) {
+	// Higher Kr must mean lower half-select leakage (Fig. 20's premise).
+	prev := math.Inf(1)
+	for _, kr := range []float64{500, 1000, 2000} {
+		s := NewSelector(90e-6, 3.0, kr)
+		leak := s.Current(1.5)
+		if leak >= prev {
+			t.Fatalf("half-select leakage should fall with Kr: Kr=%g leak=%g prev=%g", kr, leak, prev)
+		}
+		prev = leak
+	}
+}
+
+func TestSelectorPanics(t *testing.T) {
+	for _, tc := range []struct{ ifs, vfs, kr float64 }{
+		{0, 3, 1000}, {90e-6, 0, 1000}, {90e-6, 3, 1}, {-1, 3, 1000},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSelector(%g,%g,%g) did not panic", tc.ifs, tc.vfs, tc.kr)
+				}
+			}()
+			NewSelector(tc.ifs, tc.vfs, tc.kr)
+		}()
+	}
+}

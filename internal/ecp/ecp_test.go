@@ -1,0 +1,166 @@
+package ecp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLineValidation(t *testing.T) {
+	if _, err := NewLine(0, 6); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := NewLine(512, -1); err == nil {
+		t.Error("negative spares accepted")
+	}
+	if _, err := NewLine(8, 8); err == nil {
+		t.Error("spares >= cells accepted")
+	}
+}
+
+func TestFailConsumesSpares(t *testing.T) {
+	l, err := NewLine(512, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !l.Fail(i * 10) {
+			t.Fatalf("failure %d not absorbed with %d spares left", i, l.Spares())
+		}
+	}
+	if l.Spares() != 0 {
+		t.Errorf("spares = %d, want 0", l.Spares())
+	}
+	if l.Fail(400) {
+		t.Error("7th failure absorbed with 6 spares")
+	}
+	if !l.Dead {
+		t.Error("line must be dead after spare exhaustion")
+	}
+}
+
+func TestRepeatedFailureFree(t *testing.T) {
+	l, _ := NewLine(512, 6)
+	l.Fail(7)
+	before := l.Spares()
+	if !l.Fail(7) {
+		t.Error("re-failing a patched cell must succeed")
+	}
+	if l.Spares() != before {
+		t.Error("re-failing a patched cell must not consume a spare")
+	}
+}
+
+func TestCorrect(t *testing.T) {
+	l, _ := NewLine(16, 2)
+	l.Fail(3) // bit 3 of byte 0 is stuck
+	truth := []byte{0b0000_1000, 0xFF}
+	raw := []byte{0b0000_0000, 0xFF} // stuck-at-0 on bit 3
+	got, err := l.Correct(raw, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != truth[0] || got[1] != truth[1] {
+		t.Errorf("Correct = %08b, want %08b", got[0], truth[0])
+	}
+	if _, err := l.Correct([]byte{1}, truth); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestFailPanicsOutOfRange(t *testing.T) {
+	l, _ := NewLine(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range index did not panic")
+		}
+	}()
+	l.Fail(8)
+}
+
+// TestSimulateMatchesAnalyticFactor cross-validates internal/wear's
+// analytic ECP treatment: with no process variation, the line dies when
+// the first cells reach their budget, and ECP's 6 spares buy almost
+// nothing (the wear model's ecpFactor ~ 1 + spares/cells).
+func TestSimulateMatchesAnalyticFactor(t *testing.T) {
+	const (
+		cells      = 512
+		spares     = 6
+		endurance  = 1e6
+		stressProb = 0.125
+	)
+	life, err := SimulateLineDeath(cells, spares, endurance, 0, stressProb, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := endurance / stressProb // all deadlines identical
+	if math.Abs(life-want)/want > 1e-9 {
+		t.Errorf("no-variation lifetime = %g, want %g", life, want)
+	}
+}
+
+// TestVariationShortensLineLife: with process variation the weakest cells
+// die early; ECP absorbs the first 6, so the line outlives a spare-less
+// line but dies before the median cell.
+func TestVariationShortensLineLife(t *testing.T) {
+	const (
+		cells      = 512
+		endurance  = 1e6
+		sigma      = 0.3
+		stressProb = 0.25
+	)
+	withECP, err := SimulateLineDeath(cells, 6, endurance, sigma, stressProb, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SimulateLineDeath(cells, 0, endurance, sigma, stressProb, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	median := endurance / stressProb
+	if withECP <= without {
+		t.Errorf("ECP must extend line life: %g vs %g", withECP, without)
+	}
+	if withECP >= median {
+		t.Errorf("ECP line life %g should stay below the median-cell deadline %g", withECP, median)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateLineDeath(512, 6, 0, 0.3, 0.5, 10, 1); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := SimulateLineDeath(512, 6, 1e6, 0.3, 2, 10, 1); err == nil {
+		t.Error("stress probability > 1 accepted")
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		k := int(kRaw)%len(xs) + 1
+		got := kthSmallest(append([]float64(nil), xs...), k)
+		// Reference: count how many are strictly smaller / equal.
+		smaller, equal := 0, 0
+		for _, v := range xs {
+			if v < got {
+				smaller++
+			} else if v == got {
+				equal++
+			}
+		}
+		return smaller < k && smaller+equal >= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

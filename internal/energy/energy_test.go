@@ -1,0 +1,53 @@
+package energy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"reramsim/internal/core"
+	"reramsim/internal/xpoint"
+)
+
+var cfg = sync.OnceValue(xpoint.DefaultConfig)
+
+func TestBaselineOverheadIsUnity(t *testing.T) {
+	o := ForOptions(core.Options{Array: cfg()})
+	if o.Area != 1 || o.Leakage != 1 {
+		t.Errorf("baseline overhead = %+v, want 1/1", o)
+	}
+}
+
+// TestFig5dCombined: the Hard+Sys configuration must land near the
+// paper's +53% area / +75% power bars.
+func TestFig5dCombined(t *testing.T) {
+	c := cfg()
+	c.DSGB, c.DSWD = true, true
+	o := ForOptions(core.Options{Array: c, DBL: true, SCH: true, RBDL: true})
+	if math.Abs(o.Area-1.59) > 0.1 {
+		t.Errorf("Hard+Sys area overhead = %.2f, want ~1.53-1.59 (Fig. 5d)", o.Area)
+	}
+	if math.Abs(o.Leakage-1.82) > 0.1 {
+		t.Errorf("Hard+Sys leakage overhead = %.2f, want ~1.75-1.82 (Fig. 5d)", o.Leakage)
+	}
+}
+
+func TestPerTechniqueDeltas(t *testing.T) {
+	c := cfg()
+	c.DSGB = true
+	if o := ForOptions(core.Options{Array: c}); math.Abs(o.Area-1.29) > 1e-9 || math.Abs(o.Leakage-1.31) > 1e-9 {
+		t.Errorf("DSGB overhead = %+v, want +29%%/+31%%", o)
+	}
+	if o := ForOptions(core.Options{Array: cfg(), DBL: true}); math.Abs(o.Area-1.11) > 1e-9 || math.Abs(o.Leakage-1.27) > 1e-9 {
+		t.Errorf("D-BL overhead = %+v, want +11%%/+27%%", o)
+	}
+}
+
+func TestUDRVRIsCheapHardware(t *testing.T) {
+	// §IV-D: the UDRVR decoders and VRAs are area-trivial (66.2 um^2);
+	// only the pump grows, and that is accounted in chargepump.
+	o := ForOptions(core.Options{Array: cfg(), DRVR: true, UDRVR: true, PR: true})
+	if o.Area > 1.01 || o.Leakage > 1.01 {
+		t.Errorf("UDRVR+PR peripheral overhead = %+v, want ~free", o)
+	}
+}

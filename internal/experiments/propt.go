@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"reramsim/internal/stats"
+	"reramsim/internal/write"
+	"reramsim/internal/xpoint"
+)
+
+// ExtPROptimality evaluates how close Algorithm 1 comes to the optimal
+// partition choice. For every possible 8-bit data RESET mask, the space
+// of legal operations is the set of supersets (extra RESETs are always
+// paired with compensating SETs, so any superset preserves data). The
+// experiment solves all 255 operations once, then compares PR's choice
+// with the latency-optimal superset per data mask.
+func (s *Suite) ExtPROptimality() (string, error) {
+	arr, err := xpoint.New(s.Cfg)
+	if err != nil {
+		return "", err
+	}
+	lat, err := maskLatencies(arr, s.Cfg)
+	if err != nil {
+		return "", err
+	}
+
+	var (
+		ratios     []float64
+		worstRatio float64
+		worstMask  uint8
+		optimalHit int
+		masks      int
+	)
+	for m := 1; m < 256; m++ {
+		mask := uint8(m)
+		best := math.Inf(1)
+		for sup := 1; sup < 256; sup++ {
+			if uint8(sup)&mask == mask && lat[sup] < best {
+				best = lat[sup]
+			}
+		}
+		pr := write.PartitionReset(write.ArrayWrite{Reset: mask})
+		prLat := lat[pr.Reset]
+		ratio := prLat / best
+		ratios = append(ratios, ratio)
+		if ratio > worstRatio {
+			worstRatio = ratio
+			worstMask = mask
+		}
+		if ratio < 1.0001 {
+			optimalHit++
+		}
+		masks++
+	}
+
+	t := stats.NewTable("Extension: partition RESET vs the optimal superset (all 255 data masks, worst position)",
+		"metric", "value")
+	t.AddF("mean PR/optimal latency", fmt.Sprintf("%.3f", stats.Mean(ratios)))
+	t.AddF("worst PR/optimal latency", fmt.Sprintf("%.3f (mask %08b)", worstRatio, worstMask))
+	t.AddF("masks where PR is optimal", fmt.Sprintf("%d / %d", optimalHit, masks))
+	t.AddF("baseline (no PR) mean ratio", fmt.Sprintf("%.3f", noPRMeanRatio(lat)))
+	return t.String(), nil
+}
+
+// maskLatencies solves the RESET latency of every non-empty 8-bit mask at
+// the worst position (top row, far offset) under the nominal voltage.
+func maskLatencies(arr *xpoint.Array, cfg xpoint.Config) ([]float64, error) {
+	lat := make([]float64, 256)
+	offset := cfg.MuxWidth() - 1
+	for m := 1; m < 256; m++ {
+		var cols []int
+		for b := 0; b < 8; b++ {
+			if m&(1<<b) != 0 {
+				cols = append(cols, cfg.ColumnOfBit(b, offset))
+			}
+		}
+		volts := make([]float64, len(cols))
+		for i := range volts {
+			volts[i] = cfg.Params.Vrst
+		}
+		res, err := arr.SimulateReset(xpoint.ResetOp{Row: cfg.Size - 1, Cols: cols, Volts: volts})
+		if err != nil {
+			return nil, fmt.Errorf("mask %08b: %w", m, err)
+		}
+		lat[m] = res.Latency
+	}
+	return lat, nil
+}
+
+// noPRMeanRatio computes the mean latency penalty of issuing the raw data
+// mask instead of the optimal superset — the headroom PR exploits.
+func noPRMeanRatio(lat []float64) float64 {
+	var ratios []float64
+	for m := 1; m < 256; m++ {
+		mask := uint8(m)
+		best := math.Inf(1)
+		for sup := 1; sup < 256; sup++ {
+			if uint8(sup)&mask == mask && lat[sup] < best {
+				best = lat[sup]
+			}
+		}
+		ratios = append(ratios, lat[m]/best)
+	}
+	return stats.Mean(ratios)
+}
+
+// prOptimalityStats exposes the key numbers for tests.
+func prOptimalityStats(arr *xpoint.Array, cfg xpoint.Config, masks []uint8) (meanRatio float64, err error) {
+	lat, err := maskLatencies(arr, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var ratios []float64
+	for _, mask := range masks {
+		best := math.Inf(1)
+		for sup := 1; sup < 256; sup++ {
+			if uint8(sup)&mask == mask && lat[sup] < best {
+				best = lat[sup]
+			}
+		}
+		pr := write.PartitionReset(write.ArrayWrite{Reset: mask})
+		ratios = append(ratios, lat[pr.Reset]/best)
+	}
+	return stats.Mean(ratios), nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig15"
+	Title string
+	Run   func(*Suite) (string, error)
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: device and array model", (*Suite).TableI},
+		{"fig1e", "Fig. 1e: wire resistance per junction", (*Suite).Fig1e},
+		{"fig4", "Fig. 4: baseline voltage-drop maps", (*Suite).Fig4},
+		{"fig5b", "Fig. 5b: lifetime comparison", (*Suite).Fig5b},
+		{"fig5c", "Fig. 5c: prior designs vs oracles", (*Suite).Fig5c},
+		{"fig5d", "Fig. 5d: hardware overheads", (*Suite).Fig5d},
+		{"fig6", "Fig. 6: over-RESET and DRVR maps", (*Suite).Fig6},
+		{"fig7b", "Fig. 7b: DRVR on the left-most bit-line", (*Suite).Fig7b},
+		{"fig9", "Fig. 9: RESET bit-count distribution", (*Suite).Fig9},
+		{"fig11a", "Fig. 11a: multi-bit RESET sweet spot", (*Suite).Fig11a},
+		{"fig11", "Fig. 11: DRVR+PR maps", (*Suite).Fig11},
+		{"fig13", "Fig. 13: UDRVR+PR maps", (*Suite).Fig13},
+		{"fig14", "Fig. 14: extra writes from PR and D-BL", (*Suite).Fig14},
+		{"fig15", "Fig. 15: overall performance", (*Suite).Fig15},
+		{"fig16", "Fig. 16: main-memory energy", (*Suite).Fig16},
+		{"fig17", "Fig. 17: UDRVR-3.94 vs UDRVR+PR", (*Suite).Fig17},
+		{"fig18", "Fig. 18: array-size sweep", (*Suite).Fig18},
+		{"fig19", "Fig. 19: wire-resistance sweep", (*Suite).Fig19},
+		{"fig20", "Fig. 20: ON/OFF-ratio sweep", (*Suite).Fig20},
+		{"table3", "Table III: baseline configuration", (*Suite).TableIII},
+		{"table4", "Table IV: simulated benchmarks", (*Suite).TableIV},
+		{"ext-read", "Extension: read sense margin", (*Suite).ExtReadMargin},
+		{"ext-eq1", "Extension: Eq. 1 from filament kinetics", (*Suite).ExtEq1Kinetics},
+		{"ext-propt", "Extension: PR vs optimal partition choice", (*Suite).ExtPROptimality},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,166 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Fig*/Table* method returns printable output; cmd/figures
+// runs them all and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"reramsim/internal/core"
+	"reramsim/internal/memsys"
+	"reramsim/internal/trace"
+	"reramsim/internal/xpoint"
+)
+
+// Suite owns a calibrated configuration plus lazily built schemes and
+// cached simulation results, so figures sharing inputs do not recompute
+// them. A Suite is safe for concurrent use.
+type Suite struct {
+	Cfg    xpoint.Config // calibrated baseline array configuration
+	MemCfg memsys.Config
+
+	mu      sync.Mutex
+	schemes map[string]*core.Scheme
+	sims    map[string]*memsys.Result
+
+	// variant suites for the sweep figures (array size, node, Kr).
+	variants map[string]*Suite
+}
+
+// NewSuite calibrates the default configuration and prepares caches.
+// accessesPerCore bounds each simulation's length (0 selects the default).
+func NewSuite(accessesPerCore int) (*Suite, error) {
+	return NewSuiteWithConfig(xpoint.DefaultConfig(), accessesPerCore)
+}
+
+// NewSuiteWithConfig calibrates an arbitrary array configuration.
+func NewSuiteWithConfig(cfg xpoint.Config, accessesPerCore int) (*Suite, error) {
+	p, err := xpoint.CalibrateLatency(cfg, xpoint.BestCaseLatency, xpoint.WorstCaseLatency)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Params = p
+	return newSuitePrecalibrated(cfg, accessesPerCore), nil
+}
+
+// newSuitePrecalibrated wraps a configuration whose Eq. 1 constants are
+// already fitted. The Fig. 18-20 sweeps use this: device constants are
+// fitted once on the default array and held fixed while geometry or
+// selector parameters vary, exactly as in the paper.
+func newSuitePrecalibrated(cfg xpoint.Config, accessesPerCore int) *Suite {
+	mc := memsys.DefaultConfig()
+	if accessesPerCore > 0 {
+		mc.AccessesPerCore = accessesPerCore
+	}
+	return &Suite{
+		Cfg:      cfg,
+		MemCfg:   mc,
+		schemes:  make(map[string]*core.Scheme),
+		sims:     make(map[string]*memsys.Result),
+		variants: make(map[string]*Suite),
+	}
+}
+
+// schemeBuilders maps the §VI configuration names to constructors.
+var schemeBuilders = map[string]func(xpoint.Config) (*core.Scheme, error){
+	"Base":         core.Baseline,
+	"Static-3.70V": func(c xpoint.Config) (*core.Scheme, error) { return core.StaticOverdrive(c, 3.7) },
+	"Hard":         core.Hard,
+	"Hard+Sys":     core.HardSys,
+	"DRVR":         core.DRVROnly,
+	"DRVR+PR":      core.DRVRPR,
+	"UDRVR+PR":     core.UDRVRPR,
+	"UDRVR-3.94":   core.UDRVR394,
+	"ora-64x64":    func(c xpoint.Config) (*core.Scheme, error) { return core.Oracle(c, 64) },
+	"ora-128x128":  func(c xpoint.Config) (*core.Scheme, error) { return core.Oracle(c, 128) },
+	"ora-256x256":  func(c xpoint.Config) (*core.Scheme, error) { return core.Oracle(c, 256) },
+}
+
+// SchemeNames lists the available configurations in evaluation order.
+func SchemeNames() []string {
+	return []string{
+		"Base", "Static-3.70V", "Hard", "Hard+Sys", "DRVR", "DRVR+PR",
+		"UDRVR+PR", "UDRVR-3.94", "ora-64x64", "ora-128x128", "ora-256x256",
+	}
+}
+
+// Scheme returns (building and caching on first use) a named scheme.
+func (s *Suite) Scheme(name string) (*core.Scheme, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc, ok := s.schemes[name]; ok {
+		return sc, nil
+	}
+	build, ok := schemeBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+	sc, err := build(s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+	}
+	s.schemes[name] = sc
+	return sc, nil
+}
+
+// Sim runs (and caches) a simulation of workload under scheme.
+func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
+	key := scheme + "/" + workload
+	s.mu.Lock()
+	if r, ok := s.sims[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	sc, err := s.Scheme(scheme)
+	if err != nil {
+		return nil, err
+	}
+	b, err := trace.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	r, err := memsys.Simulate(sc, b, s.MemCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
+	}
+	s.mu.Lock()
+	s.sims[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Variant returns a cached sub-suite with a modified array configuration
+// (used by the Fig. 18-20 sweeps). The key must uniquely identify the
+// modification.
+func (s *Suite) Variant(key string, mod func(*xpoint.Config)) (*Suite, error) {
+	s.mu.Lock()
+	if v, ok := s.variants[key]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+
+	cfg := s.Cfg
+	mod(&cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: variant %s: %w", key, err)
+	}
+	v := newSuitePrecalibrated(cfg, s.MemCfg.AccessesPerCore)
+	s.mu.Lock()
+	s.variants[key] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Workloads returns the Table IV workload names in paper order.
+func Workloads() []string {
+	bs := trace.Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}

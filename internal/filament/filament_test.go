@@ -1,0 +1,121 @@
+package filament
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mods := []func(*Model){
+		func(m *Model) { m.V0 = 0 },
+		func(m *Model) { m.Ea = -1 },
+		func(m *Model) { m.T0 = 0 },
+		func(m *Model) { m.Ion = 0 },
+		func(m *Model) { m.GapCrit = 0 },
+	}
+	for i, mod := range mods {
+		m := DefaultModel()
+		mod(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCalibrationAnchor(t *testing.T) {
+	m := DefaultModel()
+	got := m.SwitchingTime(3.0)
+	if math.Abs(got-15e-9)/15e-9 > 0.02 {
+		t.Errorf("switching time at 3V = %g, want 15ns (calibrated)", got)
+	}
+}
+
+func TestSwitchingTimeMonotone(t *testing.T) {
+	m := DefaultModel()
+	prev := math.Inf(1)
+	for v := 1.8; v <= 3.7; v += 0.1 {
+		cur := m.SwitchingTime(v)
+		if cur >= prev {
+			t.Fatalf("switching time must fall with voltage: %g s at %g V (prev %g)", cur, v, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestEq1Emerges is the package's reason to exist: the microscopic
+// kinetics produce a switching time that is exponential in the effective
+// voltage over the paper's operating range, i.e. Eq. 1 with some (beta, k).
+func TestEq1Emerges(t *testing.T) {
+	m := DefaultModel()
+	beta, k, residual, err := m.FitEq1(2.0, 3.6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 || k > 12 {
+		t.Errorf("fitted Eq.1 slope k = %g /V, expected a few per volt", k)
+	}
+	if beta <= 0 {
+		t.Errorf("fitted beta = %g", beta)
+	}
+	// Log-linear residual below ~35%: exponential is a good description
+	// (the kinetics have mild curvature from Joule heating, exactly why
+	// Eq. 1 is called a fitted model).
+	if residual > 0.35 {
+		t.Errorf("log-residual %g too large for an exponential law", residual)
+	}
+}
+
+// TestJouleHeatingAccelerates: removing self-heating must slow the RESET.
+func TestJouleHeatingAccelerates(t *testing.T) {
+	m := DefaultModel()
+	cold := m
+	cold.Rth = 0
+	hot := m.SwitchingTime(3.0)
+	noHeat := cold.SwitchingTime(3.0)
+	if noHeat <= hot {
+		t.Errorf("without Joule heating RESET should be slower: %g vs %g", noHeat, hot)
+	}
+}
+
+func TestWriteFailureRegion(t *testing.T) {
+	m := DefaultModel()
+	if !math.IsInf(m.SwitchingTime(0), 1) {
+		t.Error("zero volts must never switch")
+	}
+	if !math.IsInf(m.SwitchingTime(-1), 1) {
+		t.Error("negative voltage (SET polarity) must not RESET")
+	}
+	// Low but positive voltage: dramatically slower than nominal, the
+	// physical basis of the 1.7 V write-failure threshold.
+	slow := m.SwitchingTime(1.2)
+	nominal := m.SwitchingTime(3.0)
+	if !math.IsInf(slow, 1) && slow < 1e3*nominal {
+		t.Errorf("1.2V switch %g s not dramatically slower than nominal %g s", slow, nominal)
+	}
+}
+
+func TestCurrentDecaysWithGap(t *testing.T) {
+	m := DefaultModel()
+	if m.Current(3.0, 0) <= m.Current(3.0, m.GapCrit) {
+		t.Error("current must fall as the gap opens")
+	}
+	if got := m.Current(3.0, 0); math.Abs(got-m.Ion)/m.Ion > 1e-9 {
+		t.Errorf("full-filament current = %g, want Ion", got)
+	}
+}
+
+func TestFitEq1Validation(t *testing.T) {
+	m := DefaultModel()
+	if _, _, _, err := m.FitEq1(3.0, 2.0, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, _, err := m.FitEq1(2.0, 3.0, 2); err == nil {
+		t.Error("too few points accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package memsys
+
+import "fmt"
+
+// Config parameterises the system simulation (defaults are Table III).
+type Config struct {
+	Cores   int     // out-of-order cores
+	CoreIPC float64 // base retire rate per core (instructions/cycle)
+	Window  int     // per-core instruction window (ROB) entries
+	MSHRs   int     // per-core outstanding read misses
+	FreqHz  float64 // core and controller clock
+
+	Ranks        int
+	BanksPerRank int
+
+	ReadQueue  int // memory controller read queue entries
+	WriteQueue int // memory controller write queue entries
+
+	ReadBankTime float64 // bank occupancy of a line read (tRCD+tCL)
+	BusTime      float64 // 64 B transfer on the 64-bit 1066 MHz channel
+	MCOverhead   float64 // controller-to-bank command latency
+
+	AccessesPerCore int   // simulation length per core
+	Seed            int64 // workload generator seed
+
+	// EagerWrites issues writes whenever a bank and its rank pump are
+	// free, even with reads pending — an alternative to the paper's
+	// read-first policy, compared in the write-policy ablation bench.
+	EagerWrites bool
+
+	// UseCaches enables the full-hierarchy mode: the generated address
+	// streams are filtered through per-core L1/L2/L3 caches instead of
+	// being treated as post-cache main-memory traffic. Table IV's
+	// RPKI/WPKI are post-cache, so the headline experiments leave this
+	// off; the mode exercises the cache substrate end to end.
+	UseCaches bool
+}
+
+// DefaultConfig returns the Table III system.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           8,
+		CoreIPC:         2.0,
+		Window:          128,
+		MSHRs:           8,
+		FreqHz:          3.2e9,
+		Ranks:           2,
+		BanksPerRank:    8,
+		ReadQueue:       24,
+		WriteQueue:      24,
+		ReadBankTime:    28e-9, // tRCD 18ns + tCL 10ns
+		BusTime:         7.5e-9,
+		MCOverhead:      20e-9, // 64 controller cycles
+		AccessesPerCore: 20000,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.CoreIPC <= 0 || c.FreqHz <= 0 || c.Window <= 0 || c.MSHRs <= 0:
+		return fmt.Errorf("memsys: invalid core parameters")
+	case c.Ranks <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("memsys: invalid memory geometry")
+	case c.ReadQueue <= 0 || c.WriteQueue <= 0:
+		return fmt.Errorf("memsys: invalid queue sizes")
+	case c.ReadBankTime <= 0 || c.BusTime < 0 || c.MCOverhead < 0:
+		return fmt.Errorf("memsys: invalid timing")
+	case c.AccessesPerCore <= 0:
+		return fmt.Errorf("memsys: no work to simulate")
+	}
+	return nil
+}
+
+// Banks returns the total bank count.
+func (c Config) Banks() int { return c.Ranks * c.BanksPerRank }

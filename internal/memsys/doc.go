@@ -1,0 +1,11 @@
+// Package memsys is the trace-driven ReRAM main-memory system simulator:
+// the NVDIMM-P channel of Table III with two ranks of eight 4 GB chips,
+// a read-priority memory controller with 24-entry read/write queues and
+// write bursts, per-rank charge-pump serialisation of writes, inter- and
+// intra-line wear leveling, and an interval-style 8-core load generator
+// running the Table IV workloads.
+//
+// It plays the role Sniper plays in the paper: it turns a Scheme's
+// per-write electrical costs into end-to-end IPC and memory energy, the
+// quantities Figs. 15-20 report.
+package memsys

@@ -1,0 +1,506 @@
+package memsys
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"reramsim/internal/cache"
+	"reramsim/internal/core"
+	"reramsim/internal/cpu"
+	"reramsim/internal/energy"
+	"reramsim/internal/trace"
+	"reramsim/internal/wear"
+	"reramsim/internal/write"
+)
+
+// Result reports one simulation run.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	Instructions uint64
+	Seconds      float64
+	IPC          float64 // aggregate across cores
+
+	Reads, Writes  uint64
+	AvgReadLatency float64 // seconds, arrival to data
+	AvgWriteWait   float64 // seconds, arrival to service completion
+	WriteBursts    uint64
+	CellsWritten   uint64
+	WriteFailures  uint64
+
+	Energy EnergyBreakdown
+}
+
+// EnergyBreakdown splits the main-memory energy (J).
+type EnergyBreakdown struct {
+	Read    float64
+	Write   float64
+	Leakage float64
+	Pump    float64 // pump leakage (dynamic pump energy is inside Write)
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 { return e.Read + e.Write + e.Leakage + e.Pump }
+
+// event kinds of the discrete-event loop.
+type eventKind uint8
+
+const (
+	evCoreAccess eventKind = iota
+	evReadDone
+	evBankFree
+)
+
+type event struct {
+	t    float64
+	seq  uint64
+	kind eventKind
+	core int
+	bank int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) Peek() (event, bool) { // read-only helper
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+type readReq struct {
+	core    int
+	bank    int
+	arrival float64
+}
+
+type writeReq struct {
+	bank    int
+	rank    int
+	arrival float64
+	cost    core.LineCost
+}
+
+type coreState struct {
+	gen     *trace.Generator
+	hier    *cache.Hierarchy
+	cpu     *cpu.Core
+	pending trace.Access
+	issued  int
+	instr   uint64
+	done    bool
+
+	// blockedRead marks a core stalled by its instruction window or MSHR
+	// budget; it resumes when an outstanding read returns.
+	blockedRead bool
+
+	waitRead  *readReq
+	waitWrite *writeReq
+}
+
+// sim bundles the mutable simulation state.
+type sim struct {
+	cfg    Config
+	scheme *core.Scheme
+
+	events eventHeap
+	seq    uint64
+
+	cores []coreState
+
+	readQ  []readReq
+	writeQ []writeReq
+	burst  bool
+
+	bankFreeAt []float64
+	pumpFreeAt []float64
+
+	leveler    *wear.SecurityRefresh
+	shifter    wear.RowShifter
+	lineWrites map[uint64]uint64
+
+	res        Result
+	readLatSum float64
+	wrWaitSum  float64
+	endTime    float64
+}
+
+// Simulate runs workload bench against scheme s under cfg and returns
+// aggregate performance and energy.
+func Simulate(s *core.Scheme, bench trace.Benchmark, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	perCore, err := trace.PerCore(bench, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+
+	sm := &sim{
+		cfg:        cfg,
+		scheme:     s,
+		cores:      make([]coreState, cfg.Cores),
+		bankFreeAt: make([]float64, cfg.Banks()),
+		pumpFreeAt: make([]float64, cfg.Ranks),
+		lineWrites: make(map[uint64]uint64),
+		shifter:    wear.NewRowShifter(),
+	}
+	sm.res.Workload = bench.Name
+	sm.res.Scheme = s.Name()
+
+	if s.WearLevelingCompatible() {
+		sm.leveler, err = wear.NewSecurityRefresh(1<<30, 64, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	coreCfg := cpu.Config{BaseIPC: cfg.CoreIPC, Window: cfg.Window, MSHRs: cfg.MSHRs, FreqHz: cfg.FreqHz}
+	for i := range sm.cores {
+		g, err := trace.NewGenerator(perCore[i], cfg.Seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		sm.cores[i].gen = g
+		sm.cores[i].cpu, err = cpu.New(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.UseCaches {
+			h, err := cache.NewHierarchy()
+			if err != nil {
+				return nil, err
+			}
+			sm.cores[i].hier = h
+		}
+		sm.scheduleNextAccess(i, 0)
+	}
+
+	if err := sm.run(); err != nil {
+		return nil, err
+	}
+	sm.finalize()
+	return &sm.res, nil
+}
+
+func (s *sim) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// scheduleNextAccess generates core i's next access and schedules its
+// arrival after the compute gap. Once the access budget is exhausted the
+// core retires.
+func (s *sim) scheduleNextAccess(i int, from float64) {
+	c := &s.cores[i]
+	if c.issued >= s.cfg.AccessesPerCore {
+		c.done = true
+		return
+	}
+	c.issued++
+	c.pending = c.gen.Next()
+	c.instr += c.pending.InstrGap
+	dt := c.cpu.Advance(c.pending.InstrGap)
+	s.push(event{t: from + dt, kind: evCoreAccess, core: i})
+}
+
+// mapLine translates a logical line into (bank, rank, row, offset),
+// applying wear leveling.
+func (s *sim) mapLine(line uint64, isWrite bool) (bank, rank, row, offset int) {
+	phys := line
+	if s.leveler != nil {
+		if isWrite {
+			phys = s.leveler.OnWrite(line)
+		} else {
+			phys = s.leveler.Map(line)
+		}
+	}
+	nb := uint64(s.cfg.Banks())
+	arr := s.scheme.Array().Config()
+	size := uint64(arr.Size)
+	muxW := uint64(arr.MuxWidth())
+
+	bank = int(phys % nb)
+	rank = bank / s.cfg.BanksPerRank
+	row = int((phys / nb) % size)
+	base := int((phys / (nb * size)) % muxW)
+	if isWrite {
+		n := s.lineWrites[phys]
+		s.lineWrites[phys] = n + 1
+		offset = s.shifter.Offset(base, n)
+	} else {
+		offset = s.shifter.Offset(base, s.lineWrites[phys])
+	}
+	return bank, rank, row, offset
+}
+
+func (s *sim) run() error {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.t > s.endTime {
+			s.endTime = e.t
+		}
+		switch e.kind {
+		case evCoreAccess:
+			if err := s.onCoreAccess(e.t, e.core); err != nil {
+				return err
+			}
+		case evReadDone:
+			s.onReadDone(e.t, e.core)
+		case evBankFree:
+			// State already advanced; just try to issue more work.
+		}
+		if err := s.tryIssue(e.t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onCoreAccess dispatches core i's pending access into the controller.
+func (s *sim) onCoreAccess(now float64, i int) error {
+	c := &s.cores[i]
+	a := c.pending
+	if c.hier != nil {
+		return s.dispatchCached(now, i, a)
+	}
+	if a.Kind == trace.Read {
+		s.issueCoreRead(now, i, a.Line)
+		return nil
+	}
+	return s.submitWrite(now, i, a)
+}
+
+// issueCoreRead sends a demand read into the controller and lets the core
+// run ahead in the shadow of the miss when its window and MSHRs allow
+// (the interval model's memory-level parallelism).
+func (s *sim) issueCoreRead(now float64, i int, line uint64) {
+	c := &s.cores[i]
+	queued := s.submitRead(now, i, line)
+	c.cpu.IssueRead()
+	if queued && !c.cpu.Blocked() {
+		s.scheduleNextAccess(i, now)
+		return
+	}
+	c.blockedRead = true
+}
+
+// onReadDone retires the oldest outstanding miss of core i and resumes it
+// if that was what stalled it.
+func (s *sim) onReadDone(now float64, i int) {
+	c := &s.cores[i]
+	c.cpu.CompleteOldest()
+	if c.blockedRead && !c.cpu.Blocked() && c.waitRead == nil {
+		c.blockedRead = false
+		s.scheduleNextAccess(i, now)
+	}
+}
+
+// dispatchCached runs the access through the core's cache hierarchy; only
+// misses and dirty writebacks reach the memory controller.
+func (s *sim) dispatchCached(now float64, i int, a trace.Access) error {
+	c := &s.cores[i]
+	lat, mem := c.hier.Access(a.Line, a.Kind == trace.Write)
+	t := now + float64(lat)/s.cfg.FreqHz
+	demandRead := false
+	for _, m := range mem {
+		if m.IsWrite {
+			wa := a
+			wa.Line = m.Line
+			if err := s.submitWrite(t, i, wa); err != nil {
+				return err
+			}
+		} else {
+			// The demand miss blocks the core whether the original access
+			// was a load or a store (write-allocate fetches the line).
+			s.issueCoreRead(t, i, m.Line)
+			demandRead = true
+		}
+	}
+	if !demandRead {
+		s.scheduleNextAccess(i, t)
+	}
+	return nil
+}
+
+// submitRead enqueues a read, reporting whether it entered the queue
+// (false: the controller queue is full and the request parks at the core).
+func (s *sim) submitRead(now float64, i int, line uint64) bool {
+	bank, _, _, _ := s.mapLine(line, false)
+	req := readReq{core: i, bank: bank, arrival: now}
+	if len(s.readQ) >= s.cfg.ReadQueue {
+		s.cores[i].waitRead = &req
+		return false
+	}
+	s.readQ = append(s.readQ, req)
+	return true
+}
+
+func (s *sim) submitWrite(now float64, i int, a trace.Access) error {
+	lw, _, err := write.FlipNWrite(a.Old[:], a.New[:])
+	if err != nil {
+		return err
+	}
+	bank, rank, row, offset := s.mapLine(a.Line, true)
+	cost, err := s.scheme.CostWrite(row, offset, lw)
+	if err != nil {
+		return err
+	}
+	req := writeReq{bank: bank, rank: rank, arrival: now, cost: cost}
+	if len(s.writeQ) >= s.cfg.WriteQueue {
+		s.cores[i].waitWrite = &req
+		return nil
+	}
+	s.writeQ = append(s.writeQ, req)
+	s.scheduleNextAccess(i, now) // posted write: the core moves on
+	return nil
+}
+
+// tryIssue advances the controller: reads first, writes when there are no
+// reads, full write-queue bursts that block reads until the queue drains.
+func (s *sim) tryIssue(now float64) error {
+	if len(s.writeQ) >= s.cfg.WriteQueue && !s.burst {
+		s.burst = true
+		s.res.WriteBursts++
+	}
+	for {
+		progress := false
+		if s.burst || len(s.readQ) == 0 || s.cfg.EagerWrites {
+			progress = s.issueWrites(now) || progress
+		}
+		if !s.burst {
+			progress = s.issueReads(now) || progress
+		}
+		if s.burst && len(s.writeQ) == 0 {
+			s.burst = false
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	s.admitWaiters(now)
+	return nil
+}
+
+func (s *sim) issueReads(now float64) bool {
+	issued := false
+	for qi := 0; qi < len(s.readQ); {
+		req := s.readQ[qi]
+		if s.bankFreeAt[req.bank] > now {
+			qi++
+			continue
+		}
+		done := now + s.cfg.ReadBankTime
+		s.bankFreeAt[req.bank] = done
+		s.push(event{t: done, kind: evBankFree, bank: req.bank})
+		complete := now + s.cfg.MCOverhead + s.cfg.ReadBankTime + s.cfg.BusTime
+		s.push(event{t: complete, kind: evReadDone, core: req.core})
+
+		s.res.Reads++
+		s.readLatSum += complete - req.arrival
+		s.res.Energy.Read += energy.ReadEnergyPerLine
+
+		s.readQ = append(s.readQ[:qi], s.readQ[qi+1:]...)
+		issued = true
+	}
+	return issued
+}
+
+func (s *sim) issueWrites(now float64) bool {
+	issued := false
+	for qi := 0; qi < len(s.writeQ); {
+		req := s.writeQ[qi]
+		if s.bankFreeAt[req.bank] > now || s.pumpFreeAt[req.rank] > now {
+			qi++
+			continue
+		}
+		busy := req.cost.Latency()
+		done := now + busy
+		s.bankFreeAt[req.bank] = done
+		s.pumpFreeAt[req.rank] = done
+		s.push(event{t: done, kind: evBankFree, bank: req.bank})
+
+		s.res.Writes++
+		s.wrWaitSum += done - req.arrival
+		s.res.Energy.Write += req.cost.Energy
+		s.res.CellsWritten += uint64(req.cost.CellsWritten() + req.cost.DummyResets)
+		if req.cost.Failed {
+			s.res.WriteFailures++
+		}
+
+		s.writeQ = append(s.writeQ[:qi], s.writeQ[qi+1:]...)
+		issued = true
+	}
+	return issued
+}
+
+// admitWaiters moves stalled cores' requests into queues with free space.
+func (s *sim) admitWaiters(now float64) {
+	for i := range s.cores {
+		c := &s.cores[i]
+		if c.waitRead != nil && len(s.readQ) < s.cfg.ReadQueue {
+			s.readQ = append(s.readQ, *c.waitRead)
+			c.waitRead = nil
+			// The parked request is in flight now; the core may run ahead
+			// again if its window allows.
+			if c.blockedRead && !c.cpu.Blocked() {
+				c.blockedRead = false
+				s.scheduleNextAccess(i, now)
+			}
+		}
+		if c.waitWrite != nil && len(s.writeQ) < s.cfg.WriteQueue {
+			s.writeQ = append(s.writeQ, *c.waitWrite)
+			c.waitWrite = nil
+			s.scheduleNextAccess(i, now)
+		}
+	}
+}
+
+func (s *sim) finalize() {
+	r := &s.res
+	for i := range s.cores {
+		r.Instructions += s.cores[i].instr
+	}
+	r.Seconds = s.endTime
+	if s.endTime > 0 {
+		r.IPC = float64(r.Instructions) / (s.endTime * s.cfg.FreqHz)
+	}
+	if r.Reads > 0 {
+		r.AvgReadLatency = s.readLatSum / float64(r.Reads)
+	}
+	if r.Writes > 0 {
+		r.AvgWriteWait = s.wrWaitSum / float64(r.Writes)
+	}
+
+	chips := float64(s.cfg.Ranks) * 8
+	ov := energy.ForScheme(s.scheme)
+	r.Energy.Leakage = energy.ChipLeakageW * ov.Leakage * chips * r.Seconds
+	r.Energy.Pump = s.scheme.Pump().LeakageW * chips * r.Seconds
+}
+
+// String summarises the result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f reads=%d writes=%d E=%.3gJ (t=%.3gs, bursts=%d)",
+		r.Scheme, r.Workload, r.IPC, r.Reads, r.Writes, r.Energy.Total(), r.Seconds, r.WriteBursts)
+}
+
+// Speedup returns r's IPC relative to base's, the paper's §V metric.
+func (r *Result) Speedup(base *Result) float64 {
+	if base.IPC == 0 {
+		return math.Inf(1)
+	}
+	return r.IPC / base.IPC
+}

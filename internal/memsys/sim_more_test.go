@@ -1,0 +1,114 @@
+package memsys
+
+import (
+	"testing"
+
+	"reramsim/internal/trace"
+)
+
+// TestPumpSerialisation: halving the rank count halves the write
+// bandwidth on a write-bound workload (the per-rank charge pump
+// serialises writes), so IPC must drop markedly.
+func TestPumpSerialisation(t *testing.T) {
+	cfg := quickCfg()
+	two := run(t, "base", "mcf_m", cfg)
+	cfg1 := cfg
+	cfg1.Ranks = 1
+	one := run(t, "base", "mcf_m", cfg1)
+	if one.IPC >= two.IPC {
+		t.Errorf("1-rank IPC %.3f should trail 2-rank %.3f on a write-bound load", one.IPC, two.IPC)
+	}
+	if one.IPC > 0.75*two.IPC {
+		t.Errorf("write-bound workload should scale with ranks: %.3f vs %.3f", one.IPC, two.IPC)
+	}
+}
+
+// TestMLPHelpsReads: shrinking the MSHR budget to 1 (blocking reads) must
+// hurt a read-heavy workload.
+func TestMLPHelpsReads(t *testing.T) {
+	cfg := quickCfg()
+	wide := run(t, "ora64", "tig_m", cfg) // tig: read-dominated
+	cfg1 := cfg
+	cfg1.MSHRs = 1
+	cfg1.Window = 1
+	narrow := run(t, "ora64", "tig_m", cfg1)
+	if narrow.IPC >= wide.IPC {
+		t.Errorf("blocking-read core (%.3f) should trail the MLP core (%.3f)", narrow.IPC, wide.IPC)
+	}
+}
+
+// TestWriteQueuePressure: a smaller write queue triggers more bursts.
+func TestWriteQueuePressure(t *testing.T) {
+	cfg := quickCfg()
+	big := run(t, "udrvrpr", "mcf_m", cfg)
+	cfgS := cfg
+	cfgS.WriteQueue = 4
+	small := run(t, "udrvrpr", "mcf_m", cfgS)
+	if small.WriteBursts <= big.WriteBursts {
+		t.Errorf("4-entry write queue should burst more: %d vs %d", small.WriteBursts, big.WriteBursts)
+	}
+}
+
+// TestEnergyScalesWithWork: doubling the simulated accesses roughly
+// doubles dynamic energy.
+func TestEnergyScalesWithWork(t *testing.T) {
+	cfg := quickCfg()
+	cfg.AccessesPerCore = 1000
+	a := run(t, "udrvrpr", "mil_m", cfg)
+	cfg2 := cfg
+	cfg2.AccessesPerCore = 2000
+	b := run(t, "udrvrpr", "mil_m", cfg2)
+	ratio := (b.Energy.Read + b.Energy.Write) / (a.Energy.Read + a.Energy.Write)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("dynamic energy ratio = %.2f for 2x work, want ~2", ratio)
+	}
+}
+
+// TestWearLevelingMovesTraffic: with the leveler active, repeated writes
+// to one logical line land on changing physical rows over time.
+func TestWearLevelingMovesTraffic(t *testing.T) {
+	// Indirect check: the baseline (wear-leveling compatible) and
+	// Hard+Sys (incompatible) must both simulate successfully and produce
+	// different bank traffic patterns; the leveler's own invariants are
+	// covered in internal/wear. Here we just pin the wiring: compatible
+	// schemes get a leveler, incompatible ones do not.
+	b, err := trace.ByName("ast_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wantLeveler := range map[string]bool{"base": true, "hardsys": false} {
+		if got := schemes()[name].WearLevelingCompatible(); got != wantLeveler {
+			t.Errorf("%s WearLevelingCompatible = %v, want %v", name, got, wantLeveler)
+		}
+	}
+	_ = b
+}
+
+// TestReadLatencyComponents: the average read latency can never be below
+// the raw service time.
+func TestReadLatencyComponents(t *testing.T) {
+	cfg := quickCfg()
+	res := run(t, "ora64", "tig_m", cfg)
+	minLat := cfg.MCOverhead + cfg.ReadBankTime + cfg.BusTime
+	if res.AvgReadLatency < minLat {
+		t.Errorf("avg read latency %.1f ns below the service floor %.1f ns",
+			res.AvgReadLatency*1e9, minLat*1e9)
+	}
+}
+
+// TestEagerWritesPolicy: both scheduling policies complete all work and
+// differ in burst behaviour (eager draining rarely fills the queue).
+func TestEagerWritesPolicy(t *testing.T) {
+	cfg := quickCfg()
+	rf := run(t, "base", "tig_m", cfg)
+	cfgE := cfg
+	cfgE.EagerWrites = true
+	eg := run(t, "base", "tig_m", cfgE)
+	if eg.Reads+eg.Writes != rf.Reads+rf.Writes {
+		t.Errorf("policies served different access counts: %d vs %d",
+			eg.Reads+eg.Writes, rf.Reads+rf.Writes)
+	}
+	if eg.WriteBursts > rf.WriteBursts {
+		t.Errorf("eager drain should not burst more: %d vs %d", eg.WriteBursts, rf.WriteBursts)
+	}
+}

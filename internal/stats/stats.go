@@ -1,0 +1,146 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses to print paper-style tables and series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs (the paper's cross-workload
+// average for speedups), ignoring non-positive entries.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table is a titled grid of cells with aligned text rendering.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells beyond the column count are kept as-is.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(row...)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v != 0 && (math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Grid renders a blocks x blocks map (e.g. the Fig. 4 surfaces) with a
+// value formatter; row 0 is the bottom of the array (nearest the write
+// drivers), printed last so the text orientation matches the figures.
+func Grid(title string, values [][]float64, format func(float64) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", title)
+	for i := len(values) - 1; i >= 0; i-- {
+		for j, v := range values[i] {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8s", format(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

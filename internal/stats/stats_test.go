@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g", got)
+	}
+	if got := GeoMean([]float64{-1, 0, 3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GeoMean skips non-positive: got %g, want 3", got)
+	}
+	// Property: geomean of equal values is that value.
+	f := func(raw float64) bool {
+		v := 0.1 + math.Abs(math.Mod(raw, 100))
+		return math.Abs(GeoMean([]float64{v, v, v})-v) < 1e-9*v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddF("alpha", 1.5)
+	tb.AddF("beta", 123456.0)
+	tb.AddF("gamma", 7)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.23e+05") {
+		t.Errorf("large values should render compactly:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestGridOrientation(t *testing.T) {
+	vals := [][]float64{{1, 2}, {3, 4}} // row 0 = bottom
+	out := Grid("G", vals, func(v float64) string { return formatFloat(v) })
+	// Bottom row must be printed last.
+	i3 := strings.Index(out, "3")
+	i1 := strings.Index(out, "1")
+	if i3 > i1 {
+		t.Errorf("grid not flipped for display:\n%s", out)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "inf" || formatFloat(math.Inf(-1)) != "-inf" {
+		t.Error("infinities mis-rendered")
+	}
+	if formatFloat(0) != "0" {
+		t.Errorf("zero renders as %q", formatFloat(0))
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"reramsim/internal/write"
+)
+
+func TestTableIV(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 11 {
+		t.Fatalf("Table IV has 11 workloads, got %d", len(bs))
+	}
+	// Spot-check the paper's numbers.
+	mcf, err := ByName("mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcf.RPKI != 4.29 || mcf.WPKI != 3.89 {
+		t.Errorf("mcf_m RPKI/WPKI = %g/%g, want 4.29/3.89", mcf.RPKI, mcf.WPKI)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	for _, b := range bs {
+		if b.IsMix() {
+			continue
+		}
+		if b.RPKI <= 0 || b.WPKI <= 0 || b.FootprintLines == 0 {
+			t.Errorf("%s: incomplete parameters", b.Name)
+		}
+	}
+}
+
+func TestPerCore(t *testing.T) {
+	ast, _ := ByName("ast_m")
+	cores, err := PerCore(ast, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cores {
+		if c.Name != "ast_m" {
+			t.Fatal("homogeneous workload must run on every core")
+		}
+	}
+	mix, _ := ByName("mix_1")
+	cores, err = PerCore(mix, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, c := range cores {
+		counts[c.Name]++
+	}
+	for _, comp := range mix.Components {
+		if counts[comp] != 2 {
+			t.Errorf("mix_1 runs %d copies of %s, want 2", counts[comp], comp)
+		}
+	}
+	if _, err := PerCore(mix, 6); err == nil {
+		t.Error("non-divisible core count accepted")
+	}
+	if _, err := NewGenerator(mix, 1); err == nil {
+		t.Error("generating a mix directly must fail")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	b, _ := ByName("ast_m")
+	g1, err := NewGenerator(b, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(b, 99)
+	for i := 0; i < 1000; i++ {
+		a1, a2 := g1.Next(), g2.Next()
+		if a1 != a2 {
+			t.Fatalf("access %d diverged between identical seeds", i)
+		}
+	}
+	g3, _ := NewGenerator(b, 100)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next().Line == g3.Next().Line {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Error("different seeds produce nearly identical streams")
+	}
+}
+
+// TestAccessRates: the generated read/write mix and instruction gaps must
+// reproduce each benchmark's RPKI and WPKI within sampling noise.
+func TestAccessRates(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if b.IsMix() {
+			continue
+		}
+		g, err := NewGenerator(b, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reads, writes, instr uint64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			instr += a.InstrGap
+			if a.Kind == Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		rpki := float64(reads) / float64(instr) * 1000
+		wpki := float64(writes) / float64(instr) * 1000
+		if math.Abs(rpki-b.RPKI)/b.RPKI > 0.15 {
+			t.Errorf("%s: generated RPKI %.2f, want %.2f", b.Name, rpki, b.RPKI)
+		}
+		if math.Abs(wpki-b.WPKI)/b.WPKI > 0.15 {
+			t.Errorf("%s: generated WPKI %.2f, want %.2f", b.Name, wpki, b.WPKI)
+		}
+	}
+}
+
+// TestFig9Shape: after Flip-N-Write, the per-array RESET-bit distribution
+// must match Fig. 9's qualitative findings: most 8-bit slices have no
+// RESET, 1-3-bit RESETs appear in almost every write, and 7-8-bit slices
+// are extremely rare except for xalancbmk.
+func TestFig9Shape(t *testing.T) {
+	hist := func(name string) (noReset, low, high float64, writesWithLow float64) {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts [9]uint64
+		var total, withLow uint64
+		for w := 0; w < 4000; {
+			a := g.Next()
+			if a.Kind != Write {
+				continue
+			}
+			w++
+			lw, _, err := write.FlipNWrite(a.Old[:], a.New[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawLow := false
+			for _, aw := range lw.Arrays {
+				n := bits.OnesCount8(aw.Reset)
+				counts[n]++
+				total++
+				if n >= 1 && n <= 3 {
+					sawLow = true
+				}
+			}
+			if sawLow {
+				withLow++
+			}
+		}
+		return float64(counts[0]) / float64(total),
+			float64(counts[1]+counts[2]+counts[3]) / float64(total),
+			float64(counts[7]+counts[8]) / float64(total),
+			float64(withLow) / 4000
+	}
+
+	for _, name := range []string{"ast_m", "mcf_m", "zeu_m"} {
+		none, low, high, withLow := hist(name)
+		if none < 0.5 {
+			t.Errorf("%s: only %.0f%% of slices have no RESET, want majority", name, none*100)
+		}
+		if low <= high {
+			t.Errorf("%s: 1-3-bit slices (%.3f) must dominate 7-8-bit (%.4f)", name, low, high)
+		}
+		if high > 0.01 {
+			t.Errorf("%s: 7-8-bit RESET slices at %.3f, want extremely rare", name, high)
+		}
+		if withLow < 0.85 {
+			t.Errorf("%s: only %.0f%% of writes contain a 1-3-bit slice, want almost all", name, withLow*100)
+		}
+	}
+	// xalancbmk is the exception with visible 7-8-bit slices.
+	_, _, xalHigh, _ := hist("xal_m")
+	_, _, astHigh, _ := hist("ast_m")
+	if xalHigh <= astHigh {
+		t.Errorf("xal_m 7-8-bit rate (%.4f) should exceed ast_m's (%.4f)", xalHigh, astHigh)
+	}
+}
+
+// TestFlipNWriteBound: generated writes never change more than half the
+// cells after Flip-N-Write (the §II-B guarantee the lifetime math uses).
+func TestFlipNWriteBound(t *testing.T) {
+	b, _ := ByName("zeu_m") // densest writer
+	g, _ := NewGenerator(b, 11)
+	for w := 0; w < 2000; {
+		a := g.Next()
+		if a.Kind != Write {
+			continue
+		}
+		w++
+		lw, _, err := write.FlipNWrite(a.Old[:], a.New[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, s := lw.Totals()
+		if r+s > 256 {
+			t.Fatalf("write changes %d cells, beyond the Flip-N-Write bound", r+s)
+		}
+	}
+}
+
+// TestZeusmpDenseWrites: §VI notes zeusmp modifies ~30% of a line per
+// write; the generator should land in that region (before Flip-N-Write).
+func TestZeusmpDenseWrites(t *testing.T) {
+	b, _ := ByName("zeu_m")
+	g, _ := NewGenerator(b, 5)
+	var changed, total float64
+	for w := 0; w < 3000; {
+		a := g.Next()
+		if a.Kind != Write {
+			continue
+		}
+		w++
+		for i := range a.Old {
+			changed += float64(bits.OnesCount8(a.Old[i] ^ a.New[i]))
+		}
+		total += 512
+	}
+	frac := changed / total
+	if frac < 0.12 || frac > 0.45 {
+		t.Errorf("zeusmp changes %.0f%% of cells per write, want ~30%%", frac*100)
+	}
+}

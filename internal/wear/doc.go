@@ -1,0 +1,12 @@
+// Package wear implements the endurance management layer: inter-line
+// wear leveling (a Security-Refresh-style randomized remapper [11]),
+// intra-line wear leveling (row shifting [12]), error-correcting-pointer
+// accounting [33], and the §III-A main-memory lifetime estimator used for
+// Fig. 5b.
+//
+// The lifetime metric follows the paper exactly: non-stop worst-case
+// write traffic arrives at every bank, each write modifies 50% of the
+// cells of a 64 B line, perfect wear leveling spreads the traffic over
+// the whole memory (when the evaluated scheme tolerates wear leveling),
+// and the system fails when the first line wears out.
+package wear

@@ -1,0 +1,115 @@
+package wear
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SecurityRefresh is a single-level Security-Refresh-style inter-line
+// wear leveler: logical lines are remapped through an XOR key, and the
+// mapping migrates incrementally from the current key to the next key as
+// writes arrive, one swap per RemapInterval writes.
+//
+// Migration state is tracked pairwise exactly as in Seong et al.'s
+// algorithm: lines x and x^delta (delta = curKey^nextKey) swap together,
+// so the predicate "already migrated" is pair-symmetric and the overall
+// mapping stays a bijection at every instant — each pair {x, x^delta}
+// maps onto the fixed set {x^curKey, x^nextKey} whichever key applies.
+type SecurityRefresh struct {
+	lines         uint64
+	remapInterval uint64
+
+	curKey, nextKey uint64
+	pointer         uint64 // lines below this are remapped with nextKey
+	writes          uint64
+	rng             *rand.Rand
+
+	// Migrations counts the extra line writes the leveler itself caused.
+	Migrations uint64
+}
+
+// NewSecurityRefresh builds a leveler over lines lines (must be a power
+// of two) that advances its sweep every remapInterval demand writes.
+func NewSecurityRefresh(lines, remapInterval uint64, seed int64) (*SecurityRefresh, error) {
+	if lines == 0 || lines&(lines-1) != 0 {
+		return nil, fmt.Errorf("wear: line count %d not a power of two", lines)
+	}
+	if remapInterval == 0 {
+		return nil, fmt.Errorf("wear: zero remap interval")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &SecurityRefresh{
+		lines:         lines,
+		remapInterval: remapInterval,
+		curKey:        rng.Uint64() % lines,
+		nextKey:       rng.Uint64() % lines,
+		rng:           rng,
+	}, nil
+}
+
+// Map translates a logical line to its current physical line.
+func (s *SecurityRefresh) Map(logical uint64) uint64 {
+	l := logical % s.lines
+	delta := s.curKey ^ s.nextKey
+	pair := l
+	if other := l ^ delta; other < pair {
+		pair = other
+	}
+	if pair < s.pointer {
+		return l ^ s.nextKey
+	}
+	return l ^ s.curKey
+}
+
+// OnWrite records a demand write and advances the background sweep; it
+// returns the physical line the write lands on.
+func (s *SecurityRefresh) OnWrite(logical uint64) uint64 {
+	phys := s.Map(logical)
+	s.writes++
+	if s.writes%s.remapInterval == 0 {
+		s.advance()
+	}
+	return phys
+}
+
+func (s *SecurityRefresh) advance() {
+	s.pointer++
+	s.Migrations++
+	if s.pointer == s.lines {
+		// Sweep complete: the next key becomes current and a fresh key is
+		// drawn, restarting the gradual migration.
+		s.curKey = s.nextKey
+		s.nextKey = s.rng.Uint64() % s.lines
+		s.pointer = 0
+	}
+}
+
+// RowShifter is the intra-line wear leveler: the stored image of a line
+// rotates by one byte position within its row every ShiftInterval writes
+// to that line, spreading hot bytes over all column-multiplexer offsets.
+// State is tracked per line by the caller (one small counter); the type
+// holds only the policy.
+type RowShifter struct {
+	ShiftInterval uint64 // writes between single-position shifts
+	MuxWidth      int    // positions available (64 for the Table I MAT)
+}
+
+// NewRowShifter returns the policy with the paper's defaults: shift one
+// position every 256 writes over a 64-wide multiplexer.
+func NewRowShifter() RowShifter {
+	return RowShifter{ShiftInterval: 256, MuxWidth: 64}
+}
+
+// Offset returns the current column offset of a line that has received
+// writeCount writes and whose base offset is base.
+func (r RowShifter) Offset(base int, writeCount uint64) int {
+	if r.ShiftInterval == 0 || r.MuxWidth == 0 {
+		return base
+	}
+	shift := int(writeCount/r.ShiftInterval) % r.MuxWidth
+	o := (base + shift) % r.MuxWidth
+	if o < 0 {
+		o += r.MuxWidth
+	}
+	return o
+}

@@ -1,0 +1,110 @@
+package wear
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSecurityRefreshBijection(t *testing.T) {
+	const lines = 256
+	sr, err := NewSecurityRefresh(lines, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mapping must be a bijection at every point of the sweep.
+	for step := 0; step < 4*lines; step++ {
+		seen := make(map[uint64]bool, lines)
+		for l := uint64(0); l < lines; l++ {
+			p := sr.Map(l)
+			if p >= lines {
+				t.Fatalf("step %d: physical line %d out of range", step, p)
+			}
+			if seen[p] {
+				t.Fatalf("step %d: collision at physical line %d", step, p)
+			}
+			seen[p] = true
+		}
+		sr.OnWrite(uint64(step) % lines)
+	}
+}
+
+func TestSecurityRefreshMovesLines(t *testing.T) {
+	const lines = 1024
+	sr, err := NewSecurityRefresh(lines, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]uint64, lines)
+	for l := uint64(0); l < lines; l++ {
+		start[l] = sr.Map(l)
+	}
+	// Drive two full sweeps; most lines must have moved.
+	for i := 0; i < 2*lines; i++ {
+		sr.OnWrite(uint64(i))
+	}
+	moved := 0
+	for l := uint64(0); l < lines; l++ {
+		if sr.Map(l) != start[l] {
+			moved++
+		}
+	}
+	if moved < lines/2 {
+		t.Errorf("only %d/%d lines moved after two sweeps", moved, lines)
+	}
+	if sr.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+func TestSecurityRefreshValidation(t *testing.T) {
+	if _, err := NewSecurityRefresh(100, 1, 0); err == nil {
+		t.Error("non-power-of-two line count accepted")
+	}
+	if _, err := NewSecurityRefresh(128, 0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestRowShifterProperties(t *testing.T) {
+	rs := NewRowShifter()
+	if got := rs.Offset(5, 0); got != 5 {
+		t.Errorf("fresh line offset = %d, want base 5", got)
+	}
+	if got := rs.Offset(5, 256); got != 6 {
+		t.Errorf("offset after one interval = %d, want 6", got)
+	}
+	if got := rs.Offset(63, 256); got != 0 {
+		t.Errorf("offset must wrap: got %d", got)
+	}
+	// Property: offset is always in range and advances by at most one
+	// position per interval.
+	f := func(base uint8, writes uint64) bool {
+		b := int(base) % rs.MuxWidth
+		o1 := rs.Offset(b, writes)
+		o2 := rs.Offset(b, writes+rs.ShiftInterval)
+		if o1 < 0 || o1 >= rs.MuxWidth {
+			return false
+		}
+		return o2 == (o1+1)%rs.MuxWidth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Degenerate policies pass addresses through.
+	if got := (RowShifter{}).Offset(9, 1e6); got != 9 {
+		t.Errorf("zero policy moved the offset to %d", got)
+	}
+}
+
+// TestRowShifterCoversAllOffsets: over a full cycle the line visits every
+// multiplexer offset — the property RBDL's layout is destroyed by (§III-B).
+func TestRowShifterCoversAllOffsets(t *testing.T) {
+	rs := NewRowShifter()
+	seen := make(map[int]bool)
+	for w := uint64(0); w < rs.ShiftInterval*uint64(rs.MuxWidth); w += rs.ShiftInterval {
+		seen[rs.Offset(0, w)] = true
+	}
+	if len(seen) != rs.MuxWidth {
+		t.Errorf("visited %d offsets, want %d", len(seen), rs.MuxWidth)
+	}
+}

@@ -1,0 +1,114 @@
+package wear
+
+import (
+	"fmt"
+	"math"
+
+	"reramsim/internal/core"
+)
+
+// LifetimeParams frames the §III-A estimate. DefaultLifetimeParams holds
+// the paper's 64 GB system.
+type LifetimeParams struct {
+	CapacityBytes uint64 // main memory capacity
+	LineBytes     int    // memory line size
+
+	// ConcurrentLineWrites is the number of line writes the system
+	// sustains in parallel under non-stop traffic (banks kept busy within
+	// the charge-pump budget). It is the single calibration constant of
+	// the lifetime model, set so the baseline lands on the paper's
+	// 65-year Fig. 5b bar; see DESIGN.md §7.
+	ConcurrentLineWrites float64
+
+	// HotLineShare is the fraction of all write traffic absorbed by the
+	// hottest line when wear leveling is absent or defeated — a few
+	// hundred times the uniform share, which is what makes Hard+Sys fail
+	// within days in Fig. 5b.
+	HotLineShare float64
+
+	// ECPSpares is the number of error-correcting pointers per line [33]:
+	// the line survives its first ECPSpares worn-out cells.
+	ECPSpares int
+}
+
+// DefaultLifetimeParams returns the Fig. 5b system: 64 GB, 64 B lines,
+// 6 ECP entries.
+func DefaultLifetimeParams() LifetimeParams {
+	return LifetimeParams{
+		CapacityBytes:        64 << 30,
+		LineBytes:            64,
+		ConcurrentLineWrites: 50,
+		HotLineShare:         5e-7,
+		ECPSpares:            6,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p LifetimeParams) Validate() error {
+	switch {
+	case p.CapacityBytes == 0 || p.LineBytes <= 0:
+		return fmt.Errorf("wear: empty memory geometry")
+	case p.CapacityBytes%uint64(p.LineBytes) != 0:
+		return fmt.Errorf("wear: capacity not a whole number of lines")
+	case p.ConcurrentLineWrites <= 0:
+		return fmt.Errorf("wear: non-positive write concurrency")
+	case p.HotLineShare <= 0 || p.HotLineShare > 1:
+		return fmt.Errorf("wear: hot line share %g outside (0,1]", p.HotLineShare)
+	case p.ECPSpares < 0:
+		return fmt.Errorf("wear: negative ECP spares")
+	}
+	return nil
+}
+
+// Lines returns the number of memory lines.
+func (p LifetimeParams) Lines() uint64 { return p.CapacityBytes / uint64(p.LineBytes) }
+
+// SecondsPerYear converts lifetimes for reporting.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Lifetime estimates the system lifetime in years for a scheme under the
+// worst-case non-stop write traffic. The estimate follows §III-A:
+//
+//   - The write service time and per-write cell stress come from the
+//     scheme's worst-case line write (Flip-N-Write bound, far position).
+//   - The floor cell fails after EnduranceFloor RESETs; ECP lets the line
+//     outlive the first ECPSpares failures, and the system fails with its
+//     first dead line.
+//   - With wear leveling (and a scheme that tolerates it) the traffic
+//     spreads uniformly over all lines; otherwise the hottest line takes
+//     HotLineShare of everything.
+func Lifetime(s *core.Scheme, p LifetimeParams) (years float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	wc, err := s.WorstWriteCost()
+	if err != nil {
+		return 0, err
+	}
+	if wc.Failed {
+		return 0, fmt.Errorf("wear: scheme %s cannot complete the worst-case write", s.Name())
+	}
+	floor, err := s.EnduranceFloor()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(floor, 1) {
+		return math.Inf(1), nil
+	}
+
+	cells := float64(p.LineBytes) * 8
+	// Probability the floor cell is RESET by one worst-case line write.
+	resetShare := float64(wc.Resets+wc.DummyResets) / cells
+	// Under even intra-line wear the line's cells approach their limits
+	// together, so the 6 ECP spares only buy a thin tail of extra writes.
+	ecpFactor := 1 + float64(p.ECPSpares)/cells
+	lineWrites := floor * ecpFactor / resetShare
+
+	rate := p.ConcurrentLineWrites / wc.Latency() // line writes/s system-wide
+	if s.WearLevelingCompatible() {
+		total := float64(p.Lines()) * lineWrites
+		return total / rate / SecondsPerYear, nil
+	}
+	// Without wear leveling the hottest line dies first.
+	return lineWrites / (rate * p.HotLineShare) / SecondsPerYear, nil
+}

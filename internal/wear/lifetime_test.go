@@ -1,0 +1,96 @@
+package wear
+
+import (
+	"sync"
+	"testing"
+
+	"reramsim/internal/core"
+	"reramsim/internal/xpoint"
+)
+
+var calibrated = sync.OnceValue(func() xpoint.Config {
+	cfg := xpoint.DefaultConfig()
+	p, err := xpoint.CalibrateLatency(cfg, xpoint.BestCaseLatency, xpoint.WorstCaseLatency)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Params = p
+	return cfg
+})
+
+func years(t *testing.T, f func(xpoint.Config) (*core.Scheme, error)) float64 {
+	t.Helper()
+	s, err := f(calibrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Lifetime(s, DefaultLifetimeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+// TestLifetimeFig5b reproduces the shape of Fig. 5b:
+//
+//	Base ~65y > UDRVR+PR >10y > DRVR > DRVR+PR ~1y >> Hard+Sys (days)
+//	and static 3.7 V over-drive under a day.
+func TestLifetimeFig5b(t *testing.T) {
+	base := years(t, core.Baseline)
+	udrvrpr := years(t, core.UDRVRPR)
+	drvr := years(t, core.DRVROnly)
+	drvrpr := years(t, core.DRVRPR)
+	hardsys := years(t, core.HardSys)
+	static := years(t, func(c xpoint.Config) (*core.Scheme, error) { return core.StaticOverdrive(c, 3.7) })
+
+	if base < 40 || base > 110 {
+		t.Errorf("baseline lifetime = %.1f years, want ~65 (Fig. 5b)", base)
+	}
+	if udrvrpr < 10 {
+		t.Errorf("UDRVR+PR lifetime = %.1f years, must exceed the 10-year requirement", udrvrpr)
+	}
+	if !(base > udrvrpr && udrvrpr > drvrpr) {
+		t.Errorf("ordering broken: base %.1f, UDRVR+PR %.1f, DRVR+PR %.1f", base, udrvrpr, drvrpr)
+	}
+	if drvrpr < 0.3 || drvrpr > 5 {
+		t.Errorf("DRVR+PR lifetime = %.2f years, want ~1 (Fig. 5b)", drvrpr)
+	}
+	if drvr <= drvrpr {
+		t.Errorf("DRVR alone (%.1f y) must outlive DRVR+PR (%.1f y): PR adds writes", drvr, drvrpr)
+	}
+	if hardsys > 30.0/365.25 {
+		t.Errorf("Hard+Sys without wear leveling = %.3f years, want failure within days", hardsys)
+	}
+	if static > 1.0/365.25 {
+		t.Errorf("static 3.7V lifetime = %.4f years, want under a day", static)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	s, err := core.Baseline(calibrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultLifetimeParams()
+	p.ConcurrentLineWrites = 0
+	if _, err := Lifetime(s, p); err == nil {
+		t.Error("invalid params accepted")
+	}
+	p = DefaultLifetimeParams()
+	p.CapacityBytes = 100 // not a whole number of lines
+	if _, err := Lifetime(s, p); err == nil {
+		t.Error("ragged capacity accepted")
+	}
+	p = DefaultLifetimeParams()
+	p.HotLineShare = 2
+	if _, err := Lifetime(s, p); err == nil {
+		t.Error("hot line share > 1 accepted")
+	}
+}
+
+func TestLifetimeParamsLines(t *testing.T) {
+	p := DefaultLifetimeParams()
+	if got := p.Lines(); got != 1<<30 {
+		t.Errorf("Lines() = %d, want 2^30 (64 GB / 64 B)", got)
+	}
+}

@@ -1,0 +1,12 @@
+// Package write implements the data path of a 64-byte line write: the
+// Flip-N-Write reduction, the per-array RESET/SET bit vectors fed to the
+// RESET and SET phases, and the mask transformations of the evaluated
+// techniques (dummy bit-lines, partition RESET pairing, row-biased data
+// layout accounting).
+//
+// Layout: a 64 B memory line is striped over 64 8-bit-wide cross-point
+// MATs — array k stores byte k of the line, bit b of that byte behind
+// column multiplexer b of array k (§II-C, Fig. 3). A line write therefore
+// reduces to 64 independent (resetMask, setMask) byte pairs plus the
+// shared row and column-mux offset.
+package write

@@ -1,0 +1,68 @@
+package write
+
+import "math/bits"
+
+// PartitionReset implements the paper's Algorithm 1 for one 8-bit slice.
+// Bits pair into four 2-bit groups ([0,1] [2,3] [4,5] [6,7]). If no RESET
+// lands in the last five bits, the slice is close enough to the row
+// decoder that nothing is done. Otherwise, walking down from the group of
+// the highest RESET bit, every group without a RESET receives an
+// artificial RESET on its odd bit paired with a compensating SET of the
+// same cell, partitioning the word-line into evenly spread pieces while
+// preserving the stored data.
+func PartitionReset(w ArrayWrite) ArrayWrite {
+	return PartitionResetGroups(w, 2)
+}
+
+// PartitionResetGroups is PartitionReset with a configurable group width
+// (in bits). The paper's Algorithm 1 uses 2-bit groups (up to 4
+// concurrent RESETs, the Fig. 11a sweet spot); the PR-policy ablation
+// bench sweeps 1, 2 and 4. groupSize must divide 8.
+func PartitionResetGroups(w ArrayWrite, groupSize int) ArrayWrite {
+	if groupSize <= 0 || 8%groupSize != 0 {
+		panic("write: group size must divide 8")
+	}
+	const farBits = 0xF8 // bits 3..7: the five far column multiplexers
+	if w.Reset&farBits == 0 {
+		return w
+	}
+	last := bits.Len8(w.Reset) - 1
+	out := w
+	for grp := last / groupSize; grp >= 0; grp-- {
+		mask := uint8(1<<groupSize-1) << (groupSize * grp)
+		if out.Reset&mask == 0 {
+			// Add the RESET on the group's highest bit, paired with a
+			// compensating SET.
+			bit := uint8(1) << (groupSize*grp + groupSize - 1)
+			out.Reset |= bit
+			out.Set |= bit
+		}
+	}
+	return out
+}
+
+// DummyBL implements the D-BL mask transformation: for a slice with at
+// least one RESET, every column multiplexer without a RESET resets its
+// dummy bit-line instead, forcing an 8-bit-wide RESET. Dummy cells hold
+// no data, so no compensating SETs are added; the extra RESETs burn
+// current and endurance on the dummy columns.
+//
+// The returned mask marks which of the 8 multiplexers reset a dummy
+// column (1 bits) in addition to the data RESETs in w.
+func DummyBL(w ArrayWrite) (out ArrayWrite, dummies uint8) {
+	if w.Reset == 0 {
+		return w, 0
+	}
+	return w, ^w.Reset
+}
+
+// RotateOffset applies the intra-line wear-leveling row shift to a column
+// offset: the stored position of a line's bits rotates by shift within
+// the 64-column multiplexer span (Zhou et al.'s row shifting [12]).
+func RotateOffset(offset, shift, muxWidth int) int {
+	o := (offset + shift) % muxWidth
+	if o < 0 {
+		o += muxWidth
+	}
+	return o
+}

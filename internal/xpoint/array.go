@@ -1,0 +1,47 @@
+package xpoint
+
+import (
+	"fmt"
+
+	"reramsim/internal/device"
+)
+
+// Array is a simulatable cross-point MAT. It caches tabulated device
+// models for the hot ladder loops. An Array is not safe for concurrent
+// use; create one per goroutine (construction is cheap).
+type Array struct {
+	cfg Config
+
+	cell device.Device // selected LRS cell under RESET
+	half device.Device // background half-selected blend (LRSFrac LRS)
+
+	rtrunk float64 // shared word-line trunk resistance (ohm)
+}
+
+// New builds an Array from cfg. It returns an error rather than panicking
+// because configs are frequently user-assembled in sweeps.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params
+	vmax := p.Vrst * 1.7
+	return &Array{
+		cfg:    cfg,
+		cell:   device.Tabulate(p.LRSCell(), vmax, 4096),
+		half:   device.Tabulate(p.BackgroundCell(cfg.LRSFrac), vmax, 4096),
+		rtrunk: cfg.TrunkCoeff * float64(cfg.Size) * cfg.Rwire,
+	}, nil
+}
+
+// MustNew is New for static configs known to be valid.
+func MustNew(cfg Config) *Array {
+	a, err := New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("xpoint: %v", err))
+	}
+	return a
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }

@@ -1,0 +1,105 @@
+package xpoint
+
+import (
+	"fmt"
+
+	"reramsim/internal/device"
+)
+
+// Config describes one cross-point MAT and the peripheral options the
+// evaluated techniques toggle. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	Size      int // A: the array is Size x Size (Table I: 512)
+	DataWidth int // concurrently accessed bits per MAT (Table I: 8)
+
+	Rwire float64 // per-junction wire resistance (ohm)
+	Rdrv  float64 // write-driver / column-mux source resistance (ohm)
+	Rdec  float64 // row-decoder ground resistance (ohm)
+
+	// TrunkCoeff sets the shared word-line trunk resistance of the
+	// multi-bit partition model: Rtrunk = TrunkCoeff * Size * Rwire.
+	// It is calibrated so the Fig. 11a sweet spot falls near four
+	// concurrent RESETs on the default 512x512 / 20 nm array.
+	TrunkCoeff float64
+
+	Params device.Params
+
+	// Hardware voltage-drop techniques (Table II).
+	DSGB bool // double-sided ground biasing: WL grounded at both ends
+	DSWD bool // double-sided write drivers: BL driven from both ends
+
+	// Oracle taps (ora-mxm): an ideal extra source every OracleBL rows of
+	// a bit-line and an ideal extra ground every OracleWL columns of a
+	// word-line. Zero disables a dimension.
+	OracleBL, OracleWL int
+
+	// LRSFrac is the fraction of background (unselected/half-selected)
+	// cells in LRS. The paper pessimistically evaluates 1.0; RBDL's
+	// benefit appears through values below the per-line worst case.
+	LRSFrac float64
+}
+
+// Default peripheral resistances: a write driver plus 64:1 column-mux
+// pass gate, and a row-decoder ground switch, at 20 nm.
+const (
+	DefaultRdrv       = 500.0
+	DefaultRdec       = 200.0
+	DefaultTrunkCoeff = 0.08
+)
+
+// DefaultConfig returns the paper's Table I MAT: 512x512, 8-bit data
+// path, 20 nm wires, pessimistic all-LRS background.
+func DefaultConfig() Config {
+	return Config{
+		Size:       512,
+		DataWidth:  8,
+		Rwire:      device.WireResistance(device.Node20nm),
+		Rdrv:       DefaultRdrv,
+		Rdec:       DefaultRdec,
+		TrunkCoeff: DefaultTrunkCoeff,
+		Params:     device.DefaultParams(),
+		LRSFrac:    1.0,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 1:
+		return fmt.Errorf("xpoint: array size %d too small", c.Size)
+	case c.DataWidth <= 0 || c.DataWidth > c.Size:
+		return fmt.Errorf("xpoint: data width %d invalid for size %d", c.DataWidth, c.Size)
+	case c.Size%c.DataWidth != 0:
+		return fmt.Errorf("xpoint: size %d not divisible by data width %d", c.Size, c.DataWidth)
+	case c.Rwire < 0 || c.Rdrv <= 0 || c.Rdec <= 0:
+		return fmt.Errorf("xpoint: non-positive peripheral resistances")
+	case c.TrunkCoeff < 0:
+		return fmt.Errorf("xpoint: negative trunk coefficient")
+	case c.LRSFrac < 0 || c.LRSFrac > 1:
+		return fmt.Errorf("xpoint: LRS fraction %g outside [0,1]", c.LRSFrac)
+	case c.OracleBL < 0 || c.OracleWL < 0:
+		return fmt.Errorf("xpoint: negative oracle sections")
+	}
+	if c.OracleBL > 0 && c.Size%c.OracleBL != 0 {
+		return fmt.Errorf("xpoint: oracle BL section %d does not divide size %d", c.OracleBL, c.Size)
+	}
+	if c.OracleWL > 0 && c.Size%c.OracleWL != 0 {
+		return fmt.Errorf("xpoint: oracle WL section %d does not divide size %d", c.OracleWL, c.Size)
+	}
+	return c.Params.Validate()
+}
+
+// MuxWidth returns the number of bit-lines behind each column multiplexer
+// (64 for the Table I MAT: 512 columns, 8 write drivers).
+func (c Config) MuxWidth() int { return c.Size / c.DataWidth }
+
+// ColumnOfBit maps (bit, offset) to a physical column: bit b of the data
+// path is served by column multiplexer b, which selects one of MuxWidth
+// bit-lines by offset. This is the §IV-C layout (EN0..EN7, 64:1 muxes).
+func (c Config) ColumnOfBit(bit, offset int) int {
+	if bit < 0 || bit >= c.DataWidth || offset < 0 || offset >= c.MuxWidth() {
+		panic(fmt.Sprintf("xpoint: bad bit/offset %d/%d", bit, offset))
+	}
+	return bit*c.MuxWidth() + offset
+}

@@ -1,0 +1,23 @@
+// Package xpoint is the fast analytical model of a ReRAM cross-point
+// array. It is the workhorse behind every technique and system-level
+// result in this repository: where internal/circuit solves the full 2-D
+// nonlinear network (the HSPICE substitute), xpoint reduces a RESET
+// operation to coupled one-dimensional ladder networks, following the
+// paper's own equivalent-circuit methodology (Fig. 8):
+//
+//   - The selected bit-line is an exact nonlinear ladder: the write driver
+//     at the bottom, per-junction wire resistance, a half-selected load at
+//     every unselected row, and the selected cell at the target row.
+//   - The selected word-line of an N-bit RESET is partitioned into N
+//     pieces ("N 1-bit RESETs partition the CP array into N array
+//     pieces"), each an exact local ladder over its column span grounded
+//     at its left boundary, plus a shared trunk term that charges every
+//     piece for the total current coalescing toward the row decoder. The
+//     1/N local resistance against the ~N trunk current reproduces the
+//     paper's Fig. 11a sweet spot around four concurrent RESETs.
+//
+// The 1-bit case degenerates to plain coupled ladders and is validated
+// against internal/circuit in the package tests. DSGB, DSWD, dummy-BL
+// style forced multi-bit RESETs, and the ora-mxm oracle taps are all
+// expressed as modifications of the ladder boundary conditions.
+package xpoint

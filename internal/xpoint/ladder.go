@@ -1,0 +1,178 @@
+package xpoint
+
+import (
+	"math"
+
+	"reramsim/internal/circuit"
+	"reramsim/internal/device"
+)
+
+// ladder is a one-dimensional chain of n nodes joined by wire conductance
+// gw. Every node may carry one nonlinear device load toward a fixed far
+// potential and one linear source tap. It is the shared primitive behind
+// the bit-line and word-line models.
+type ladder struct {
+	n  int
+	gw float64
+
+	loadDev []device.Device // nil entry = no load at that node
+	loadU   []float64       // far potential of the load
+	srcG    []float64       // 0 entry = no source tap
+	srcV    []float64
+
+	v []float64 // node voltages (persist across solves as warm start)
+
+	// Physical bounds: a passive resistive network obeys the maximum
+	// principle, so every node voltage lies between the smallest and
+	// largest source/far potential. Clamping each sweep to these bounds
+	// keeps the secant iteration from running away.
+	vmin, vmax float64
+
+	a, b, c, d, cp, dp, x []float64
+}
+
+func newLadder(n int, rwire float64) *ladder {
+	if rwire <= 0 {
+		rwire = 1e-4
+	}
+	return &ladder{
+		n:       n,
+		gw:      1 / rwire,
+		vmin:    math.Inf(-1),
+		vmax:    math.Inf(1),
+		loadDev: make([]device.Device, n),
+		loadU:   make([]float64, n),
+		srcG:    make([]float64, n),
+		srcV:    make([]float64, n),
+		v:       make([]float64, n),
+		a:       make([]float64, n),
+		b:       make([]float64, n),
+		c:       make([]float64, n),
+		d:       make([]float64, n),
+		cp:      make([]float64, n),
+		dp:      make([]float64, n),
+		x:       make([]float64, n),
+	}
+}
+
+func (l *ladder) reset() {
+	for i := 0; i < l.n; i++ {
+		l.loadDev[i] = nil
+		l.loadU[i] = 0
+		l.srcG[i] = 0
+		l.srcV[i] = 0
+	}
+	l.vmin, l.vmax = math.Inf(-1), math.Inf(1)
+}
+
+// setBounds declares the physical voltage window of the network.
+func (l *ladder) setBounds(vmin, vmax float64) {
+	l.vmin, l.vmax = vmin, vmax
+}
+
+// setSource attaches a voltage source v behind resistance r at node i.
+func (l *ladder) setSource(i int, v, r float64) {
+	if r <= 0 {
+		r = 1e-3
+	}
+	l.srcG[i] = 1 / r
+	l.srcV[i] = v
+}
+
+// setLoad attaches device dev between node i and fixed potential u.
+func (l *ladder) setLoad(i int, dev device.Device, u float64) {
+	l.loadDev[i] = dev
+	l.loadU[i] = u
+}
+
+// init seeds every node voltage, typically with the dominant source value.
+func (l *ladder) init(v float64) {
+	for i := range l.v {
+		l.v[i] = v
+	}
+}
+
+// sweep performs one linearised tridiagonal solve and returns the largest
+// node-voltage change. relax in (0,1] under-relaxes the update.
+func (l *ladder) sweep(relax float64) float64 {
+	for i := 0; i < l.n; i++ {
+		diag := l.srcG[i]
+		rhs := l.srcG[i] * l.srcV[i]
+		if dev := l.loadDev[i]; dev != nil {
+			g := dev.SecantConductance(l.v[i] - l.loadU[i])
+			diag += g
+			rhs += g * l.loadU[i]
+		}
+		l.a[i], l.c[i] = 0, 0
+		if i > 0 {
+			l.a[i] = -l.gw
+			diag += l.gw
+		}
+		if i < l.n-1 {
+			l.c[i] = -l.gw
+			diag += l.gw
+		}
+		if diag == 0 {
+			diag = 1e-30
+		}
+		l.b[i] = diag
+		l.d[i] = rhs
+	}
+	circuit.SolveTridiag(l.a, l.b, l.c, l.d, l.cp, l.dp, l.x)
+	res := 0.0
+	for i := 0; i < l.n; i++ {
+		nv := l.v[i] + relax*(l.x[i]-l.v[i])
+		if nv < l.vmin {
+			nv = l.vmin
+		} else if nv > l.vmax {
+			nv = l.vmax
+		}
+		if dv := math.Abs(nv - l.v[i]); dv > res {
+			res = dv
+		}
+		l.v[i] = nv
+	}
+	return res
+}
+
+// solve iterates sweeps until the residual falls below tol, damping the
+// relaxation if the secant fixed point oscillates. It returns the final
+// residual (callers treat exceeding tol as a soft warning: the warm-started
+// outer iterations re-enter this ladder anyway).
+func (l *ladder) solve(tol float64, maxIter int) float64 {
+	relax := 1.0
+	prev := math.Inf(1)
+	res := math.Inf(1)
+	for it := 0; it < maxIter; it++ {
+		res = l.sweep(relax)
+		if res < tol {
+			return res
+		}
+		// Damp when the residual stops shrinking decisively — a perfect
+		// 2-cycle keeps it constant, which "res > prev" alone would miss.
+		if res > 0.9*prev && relax > 0.03 {
+			relax *= 0.7
+		}
+		prev = res
+	}
+	return res
+}
+
+// loadCurrent returns the current flowing out of node i into its device
+// load (zero when the node has no load).
+func (l *ladder) loadCurrent(i int) float64 {
+	dev := l.loadDev[i]
+	if dev == nil {
+		return 0
+	}
+	return dev.Current(l.v[i] - l.loadU[i])
+}
+
+// sourceCurrent returns the current the source tap at node i injects into
+// the ladder (zero when there is no tap).
+func (l *ladder) sourceCurrent(i int) float64 {
+	if l.srcG[i] == 0 {
+		return 0
+	}
+	return l.srcG[i] * (l.srcV[i] - l.v[i])
+}

@@ -1,0 +1,80 @@
+package xpoint
+
+import "testing"
+
+func TestSimulateReadValidation(t *testing.T) {
+	arr, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.SimulateRead(-1, []int{0}); err == nil {
+		t.Error("negative row accepted")
+	}
+	if _, err := arr.SimulateRead(0, nil); err == nil {
+		t.Error("empty column set accepted")
+	}
+	if _, err := arr.SimulateRead(0, []int{64}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+// TestReadMarginHealthy validates the paper's §II-B claim: in a
+// moderate-size array the read path keeps a comfortable LRS/HRS sense
+// margin even at the worst position with an all-LRS data path.
+func TestReadMarginHealthy(t *testing.T) {
+	arr, err := New(DefaultConfig()) // the full 512x512 MAT
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := arr.WorstReadMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 0.5 {
+		t.Errorf("worst-case read margin = %.2f, want > 0.5 (read sneak should be benign)", worst)
+	}
+}
+
+// TestReadMarginFallsWithDistance: cells further from the row decoder see
+// a lower word-line voltage, so their sensed current (and margin head-
+// room) shrinks — the read-side analogue of the RESET maps.
+func TestReadMarginFallsWithDistance(t *testing.T) {
+	arr, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.SimulateRead(0, []int{0, 255, 511})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.ILRS[0] >= res.ILRS[1] && res.ILRS[1] >= res.ILRS[2]) {
+		t.Errorf("LRS read current should fall with column distance: %v", res.ILRS)
+	}
+	for i, m := range res.Margin {
+		if m <= 0 || m > 1 {
+			t.Errorf("margin[%d] = %g outside (0,1]", i, m)
+		}
+	}
+	if res.Iword <= 0 {
+		t.Error("no word-line current during read")
+	}
+}
+
+// TestReadCurrentsOrdersOfMagnitude: an LRS cell reads far above an HRS
+// cell; absolute levels sit near the Table III read current.
+func TestReadCurrentsOrdersOfMagnitude(t *testing.T) {
+	arr, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.SimulateRead(0, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ILRS[0] < 1e-6 || res.ILRS[0] > 1e-4 {
+		t.Errorf("LRS read current = %g A, want order of Table III's 8.2 uA", res.ILRS[0])
+	}
+	if res.IHRS[0] >= res.ILRS[0]/2 {
+		t.Errorf("HRS read current %g not well below LRS %g", res.IHRS[0], res.ILRS[0])
+	}
+}

@@ -1,0 +1,353 @@
+package xpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ResetOp is one concurrent (possibly multi-bit) RESET on a single
+// word-line: the cells at (Row, Cols[i]) are reset with Volts[i] applied
+// to their bit-lines. Cols must be strictly ascending; DRVR/UDRVR express
+// themselves purely through Volts.
+type ResetOp struct {
+	Row   int
+	Cols  []int
+	Volts []float64
+}
+
+// Validate reports the first structural problem with the op.
+func (op ResetOp) Validate(cfg Config) error {
+	if op.Row < 0 || op.Row >= cfg.Size {
+		return fmt.Errorf("xpoint: row %d outside array of size %d", op.Row, cfg.Size)
+	}
+	if len(op.Cols) == 0 {
+		return fmt.Errorf("xpoint: reset op selects no columns")
+	}
+	if len(op.Volts) != len(op.Cols) {
+		return fmt.Errorf("xpoint: %d columns but %d voltages", len(op.Cols), len(op.Volts))
+	}
+	if !sort.IntsAreSorted(op.Cols) {
+		return fmt.Errorf("xpoint: columns not ascending")
+	}
+	for i, c := range op.Cols {
+		if c < 0 || c >= cfg.Size {
+			return fmt.Errorf("xpoint: column %d outside array", c)
+		}
+		if i > 0 && op.Cols[i-1] == c {
+			return fmt.Errorf("xpoint: duplicate column %d", c)
+		}
+		if op.Volts[i] <= 0 {
+			return fmt.Errorf("xpoint: non-positive RESET voltage %g", op.Volts[i])
+		}
+	}
+	return nil
+}
+
+// ResetResult reports the electrical outcome of a ResetOp.
+type ResetResult struct {
+	Veff    []float64 // effective RESET voltage per selected cell
+	Icell   []float64 // selected-cell current per selected cell (A)
+	Itotal  float64   // total current returned through the row decoder (A)
+	Latency float64   // op latency: slowest selected cell (s); +Inf on write failure
+	Failed  bool      // any cell below the write-failure threshold
+}
+
+// solver iteration limits. The outer loop updates the piece ground
+// potentials (trunk coupling); the inner loop alternates the coupled
+// bit-line/word-line ladders of one piece.
+const (
+	outerMaxIter = 60
+	outerTol     = 1e-5
+	innerMaxIter = 80
+	innerTol     = 1e-6
+	ladderIter   = 60
+)
+
+// SimulateReset solves the array model for op and derives per-cell
+// effective voltages, currents and the op latency.
+func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
+	if err := op.Validate(a.cfg); err != nil {
+		return nil, err
+	}
+	cfg := a.cfg
+	n := len(op.Cols)
+
+	// Level-shifted V/2 biasing: with DRVR/UDRVR boosting some bit-lines
+	// above the nominal Vrst, the classic Vrst/2 half bias would push the
+	// half-selected cells on those bit-lines past the selector threshold.
+	// The chip therefore references the unselected word-line bias to the
+	// pump output: unselected WLs sit at maxLevel - Vrst/2 and unselected
+	// BLs at Vrst/2, bounding every half-selected cell's stress at Vrst/2.
+	// At the nominal level this reduces to the paper's Fig. 2 scheme.
+	vhalfBL := cfg.Params.Vrst / 2 // unselected bit-line bias
+	vaMax := 0.0
+	for _, v := range op.Volts {
+		if v > vaMax {
+			vaMax = v
+		}
+	}
+	vhalfWL := vaMax - cfg.Params.Vrst/2 // unselected word-line bias
+
+	// Oracle taps partition the array ideally: concurrent RESETs are
+	// electrically independent, so a multi-bit op decomposes into 1-bit
+	// solves. (The trunk feedback below models the single shared decoder
+	// return, which the oracle's extra grounds bypass.)
+	if n > 1 && (cfg.OracleWL > 0 || cfg.OracleBL > 0) {
+		return a.simulateOracle(op)
+	}
+
+	// Piece boundaries: midpoints between consecutive selected columns.
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for k := range op.Cols {
+		if k == 0 {
+			lo[k] = 0
+		} else {
+			lo[k] = (op.Cols[k-1] + op.Cols[k] + 1) / 2
+		}
+	}
+	for k := range op.Cols {
+		if k == n-1 {
+			hi[k] = cfg.Size
+		} else {
+			hi[k] = lo[k+1]
+		}
+	}
+
+	// DSGB provides a second ground: the decoder return halves (two
+	// parallel contacts) and pieces nearer the right edge ground
+	// rightward. The coalescence trunk does NOT halve: each end's trunk
+	// metal carries its share of the total current over the same
+	// per-segment resistance, which is why D-BL's 8-bit RESETs still pay
+	// the large-current penalty even with double-sided grounds (§III-B).
+	rdec, rtrunk := cfg.Rdec, a.rtrunk
+	if cfg.DSGB {
+		rdec /= 2
+	}
+	// Reference current of the crowding factor: a full data-width RESET
+	// at compliance current.
+	trunkRef := float64(cfg.DataWidth) * cfg.Params.Ion
+
+	bl := make([]*ladder, n)
+	wl := make([]*ladder, n)
+	icell := make([]float64, n)
+	ipiece := make([]float64, n)
+	veff := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		bl[k] = a.buildBL(op.Volts[k], op.Row, vhalfWL)
+		bl[k].setBounds(0, vaMax)
+		wl[k] = newLadder(hi[k]-lo[k], cfg.Rwire)
+		bl[k].init(op.Volts[k])
+		wl[k].init(0)
+	}
+
+	itotal := 0.0
+	for outer := 0; outer < outerMaxIter; outer++ {
+		prevTotal := itotal
+		itotal = 0
+		for k := 0; k < n; k++ {
+			// Ground potential seen by this piece: the decoder drop from
+			// the whole op plus the trunk drop from the current of the
+			// *other* pieces coalescing on the shared word-line. For a
+			// 1-bit RESET the trunk term vanishes and the model reduces
+			// to the plain coupled ladders validated against the 2-D
+			// solver.
+			//
+			// The trunk term is superlinear (scaled by the op's total
+			// current against the full 8-bit reference): coalescence is
+			// benign around the 3-4-bit sweet spot and punishing at
+			// D-BL's forced 8-bit RESETs, which is the paper's Fig. 11a
+			// observation and the reason PR beats D-BL.
+			iothers := prevTotal - ipiece[k]
+			if iothers < 0 {
+				iothers = 0
+			}
+			crowding := prevTotal / trunkRef
+			vg := rdec*prevTotal + rtrunk*iothers*crowding
+
+			a.configureWL(wl[k], lo[k], hi[k], op, k, n, vhalfBL, vg)
+			wl[k].setBounds(0, vaMax)
+			iv, ic := a.solvePiece(bl[k], wl[k], op, k, lo[k])
+			veff[k], icell[k] = iv, ic
+
+			// Piece ground current: everything the local ladder hands to
+			// its ground tie(s).
+			ipiece[k] = pieceGroundCurrent(wl[k])
+			itotal += ipiece[k]
+		}
+		if math.Abs(itotal-prevTotal) < outerTol*(1e-6+math.Abs(itotal)) {
+			break
+		}
+	}
+
+	res := &ResetResult{Veff: veff, Icell: icell, Itotal: itotal}
+	res.Latency = 0
+	for _, v := range veff {
+		lat := cfg.Params.ResetLatency(v)
+		if math.IsInf(lat, 1) {
+			res.Failed = true
+		}
+		if lat > res.Latency {
+			res.Latency = lat
+		}
+	}
+	return res, nil
+}
+
+// simulateOracle evaluates a multi-bit RESET on an oracle-tapped array as
+// independent 1-bit operations.
+func (a *Array) simulateOracle(op ResetOp) (*ResetResult, error) {
+	n := len(op.Cols)
+	out := &ResetResult{
+		Veff:  make([]float64, n),
+		Icell: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		res, err := a.SimulateReset(ResetOp{
+			Row:   op.Row,
+			Cols:  []int{op.Cols[i]},
+			Volts: []float64{op.Volts[i]},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Veff[i] = res.Veff[0]
+		out.Icell[i] = res.Icell[0]
+		out.Itotal += res.Itotal
+		if res.Latency > out.Latency {
+			out.Latency = res.Latency
+		}
+		out.Failed = out.Failed || res.Failed
+	}
+	return out, nil
+}
+
+// buildBL constructs the selected bit-line ladder: write driver(s),
+// half-selected background loads, and oracle taps. The selected row's
+// load is (re)attached inside solvePiece because its far potential is the
+// word-line node.
+func (a *Array) buildBL(va float64, row int, vhalf float64) *ladder {
+	cfg := a.cfg
+	l := newLadder(cfg.Size, cfg.Rwire)
+	l.setSource(0, va, cfg.Rdrv)
+	if cfg.DSWD {
+		l.setSource(cfg.Size-1, va, cfg.Rdrv)
+	}
+	if m := cfg.OracleBL; m > 0 {
+		for i := 0; i < cfg.Size; i += m {
+			l.setSource(i, va, cfg.Rdrv)
+		}
+	}
+	for i := 0; i < cfg.Size; i++ {
+		if i != row {
+			l.setLoad(i, a.half, vhalf)
+		}
+	}
+	return l
+}
+
+// configureWL (re)builds the local word-line ladder of piece k: a stiff
+// tie to the piece's ground potential, half-selected injections from the
+// background, oracle ground taps, and the selected cell load (attached in
+// solvePiece).
+func (a *Array) configureWL(l *ladder, lo, hi int, op ResetOp, k, n int, vhalf, vg float64) {
+	cfg := a.cfg
+	l.reset()
+	switch {
+	case cfg.DSGB && n == 1:
+		// One piece spanning the whole word-line, grounded at both ends.
+		l.setSource(0, vg, 1e-2)
+		l.setSource(hi-lo-1, vg, 1e-2)
+	case cfg.DSGB:
+		// Outer pieces reach their physical decoder; inner pieces ground
+		// toward the nearer edge.
+		if k == 0 {
+			l.setSource(0, vg, 1e-2)
+		} else if k == n-1 {
+			l.setSource(hi-lo-1, vg, 1e-2)
+		} else if (lo+hi)/2 > cfg.Size/2 {
+			l.setSource(hi-lo-1, vg, 1e-2)
+		} else {
+			l.setSource(0, vg, 1e-2)
+		}
+	default:
+		l.setSource(0, vg, 1e-2)
+	}
+	if m := cfg.OracleWL; m > 0 {
+		for c := 0; c < cfg.Size; c += m {
+			if c >= lo && c < hi {
+				l.setSource(c-lo, 0, cfg.Rdec)
+			}
+		}
+	}
+	for c := lo; c < hi; c++ {
+		if c != op.Cols[k] {
+			l.setLoad(c-lo, a.half, vhalf)
+		}
+	}
+}
+
+// solvePiece alternates the piece's coupled bit-line and word-line
+// ladders until the selected cell's terminal voltages settle, returning
+// the cell's effective voltage and current.
+func (a *Array) solvePiece(bl, wl *ladder, op ResetOp, k, lo int) (veff, icell float64) {
+	row := op.Row
+	sel := op.Cols[k] - lo
+	// The exchanged terminal potentials are under-relaxed with adaptive
+	// damping: the cell's compliance region has a sharp conductance, and
+	// a raw alternation between the two ladders can limit-cycle.
+	wHat, bHat := wl.v[sel], bl.v[row]
+	relax := 1.0
+	prevDelta := math.Inf(1)
+	best := math.Inf(1)
+	sinceBest := 0
+	for inner := 0; inner < innerMaxIter; inner++ {
+		bl.setLoad(row, a.cell, wHat)
+		bl.solve(innerTol/4, ladderIter)
+
+		wl.setLoad(sel, a.cell, bHat)
+		wl.solve(innerTol/4, ladderIter)
+
+		dw := wl.v[sel] - wHat
+		db := bl.v[row] - bHat
+		delta := math.Max(math.Abs(dw), math.Abs(db))
+		if delta < innerTol {
+			wHat, bHat = wl.v[sel], bl.v[row]
+			break
+		}
+		if delta > prevDelta && relax > 0.15 {
+			relax *= 0.6
+		}
+		prevDelta = delta
+		// Stagnation cut-off: operating points pinned at the switching
+		// knee (failing writes) limit-cycle within a few millivolts; the
+		// answer is already as good as the model resolves, so stop
+		// burning sweeps on them.
+		if delta < best*0.7 {
+			best = delta
+			sinceBest = 0
+		} else if sinceBest++; sinceBest > 10 {
+			wHat, bHat = wl.v[sel], bl.v[row]
+			break
+		}
+		wHat += relax * dw
+		bHat += relax * db
+	}
+	veff = bHat - wHat
+	icell = a.cell.Current(veff)
+	return veff, icell
+}
+
+// pieceGroundCurrent sums the current absorbed by the piece's ground ties
+// (the stiff Vg tie plus any oracle taps).
+func pieceGroundCurrent(l *ladder) float64 {
+	total := 0.0
+	for i := 0; i < l.n; i++ {
+		if c := l.sourceCurrent(i); c < 0 {
+			total -= c
+		}
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+// Package reramsim reproduces "Mitigating Voltage Drop in Resistive
+// Memories by Dynamic RESET Voltage Regulation and Partition RESET"
+// (Zokaee & Jiang, HPCA 2020) as a production-quality Go library.
+//
+// The package is a facade over the implementation packages:
+//
+//   - ArrayConfig / NewArray expose the fast cross-point array model
+//     (internal/xpoint), validated against the full 2-D nonlinear solver
+//     (internal/circuit).
+//   - Scheme and the named constructors (Baseline, Hard, HardSys,
+//     DRVROnly, DRVRPR, UDRVRPR, UDRVR394, Oracle, StaticOverdrive)
+//     expose the paper's techniques and baselines (internal/core).
+//   - Simulate runs the trace-driven memory-system simulation
+//     (internal/memsys) on a Table IV workload (internal/trace).
+//   - Lifetime evaluates the Fig. 5b endurance model (internal/wear).
+//   - NewSuite exposes the per-figure experiment harness
+//     (internal/experiments); cmd/figures drives it from the shell.
+//
+// Quick start:
+//
+//	cfg := reramsim.CalibratedConfig()
+//	scheme, _ := reramsim.UDRVRPR(cfg)
+//	res, _ := reramsim.Simulate(scheme, "mcf_m", 10000)
+//	fmt.Println(res.IPC)
+package reramsim
+
+import (
+	"reramsim/internal/core"
+	"reramsim/internal/device"
+	"reramsim/internal/experiments"
+	"reramsim/internal/memsys"
+	"reramsim/internal/trace"
+	"reramsim/internal/wear"
+	"reramsim/internal/xpoint"
+)
+
+// Re-exported types. Aliases keep the implementation internal while
+// giving external users stable names.
+type (
+	// ArrayConfig describes one cross-point MAT and its peripherals.
+	ArrayConfig = xpoint.Config
+	// Array is the fast analytical array model.
+	Array = xpoint.Array
+	// ResetOp is one concurrent multi-bit RESET operation.
+	ResetOp = xpoint.ResetOp
+	// ResetResult is the electrical outcome of a ResetOp.
+	ResetResult = xpoint.ResetResult
+	// Scheme is one evaluated voltage-drop mitigation configuration.
+	Scheme = core.Scheme
+	// SchemeOptions selects the techniques a Scheme applies.
+	SchemeOptions = core.Options
+	// LineCost is the memory-side cost of one 64 B line write.
+	LineCost = core.LineCost
+	// SimResult reports one memory-system simulation.
+	SimResult = memsys.Result
+	// SimConfig parameterises the system simulation.
+	SimConfig = memsys.Config
+	// Benchmark describes one Table IV workload.
+	Benchmark = trace.Benchmark
+	// LifetimeParams frames the Fig. 5b lifetime estimate.
+	LifetimeParams = wear.LifetimeParams
+	// Suite is the per-figure experiment harness.
+	Suite = experiments.Suite
+)
+
+// TechNode is a process technology node for wire-resistance lookups.
+type TechNode = device.Node
+
+// Technology nodes the paper sweeps (Fig. 1e, Fig. 19).
+const (
+	Node32nm = device.Node32nm
+	Node20nm = device.Node20nm
+	Node10nm = device.Node10nm
+)
+
+// WireResistance returns the per-junction wire resistance at a node.
+func WireResistance(n TechNode) float64 { return device.WireResistance(n) }
+
+// DefaultConfig returns the paper's Table I MAT (512x512, 20 nm, 8-bit
+// data path) with uncalibrated Eq. 1 constants.
+func DefaultConfig() ArrayConfig { return xpoint.DefaultConfig() }
+
+// CalibratedConfig returns DefaultConfig with Eq. 1 anchored to the
+// paper's 15 ns / 2.3 us latency extremes (DESIGN.md §3). It panics only
+// on internal inconsistency, which cannot happen for the default config.
+func CalibratedConfig() ArrayConfig {
+	cfg := xpoint.DefaultConfig()
+	p, err := xpoint.CalibrateLatency(cfg, xpoint.BestCaseLatency, xpoint.WorstCaseLatency)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Params = p
+	return cfg
+}
+
+// NewArray builds the fast array model for cfg.
+func NewArray(cfg ArrayConfig) (*Array, error) { return xpoint.New(cfg) }
+
+// The paper's evaluated configurations (§VI).
+var (
+	Baseline = core.Baseline
+	Hard     = core.Hard
+	HardSys  = core.HardSys
+	DRVROnly = core.DRVROnly
+	DRVRPR   = core.DRVRPR
+	UDRVRPR  = core.UDRVRPR
+	UDRVR394 = core.UDRVR394
+)
+
+// Oracle returns the ora-mxm configuration.
+func Oracle(cfg ArrayConfig, m int) (*Scheme, error) { return core.Oracle(cfg, m) }
+
+// StaticOverdrive returns the flat boosted-voltage straw man of §IV-A.
+func StaticOverdrive(cfg ArrayConfig, volts float64) (*Scheme, error) {
+	return core.StaticOverdrive(cfg, volts)
+}
+
+// NewScheme builds a custom scheme from options.
+func NewScheme(name string, opt SchemeOptions) (*Scheme, error) { return core.NewScheme(name, opt) }
+
+// Benchmarks returns the Table IV workloads.
+func Benchmarks() []Benchmark { return trace.Benchmarks() }
+
+// BenchmarkByName looks a Table IV workload up.
+func BenchmarkByName(name string) (Benchmark, error) { return trace.ByName(name) }
+
+// Simulate runs workload (a Table IV name) against scheme for
+// accessesPerCore memory accesses per core on the Table III system.
+func Simulate(s *Scheme, workload string, accessesPerCore int) (*SimResult, error) {
+	b, err := trace.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := memsys.DefaultConfig()
+	if accessesPerCore > 0 {
+		cfg.AccessesPerCore = accessesPerCore
+	}
+	return memsys.Simulate(s, b, cfg)
+}
+
+// DefaultSimConfig returns the Table III system configuration.
+func DefaultSimConfig() SimConfig { return memsys.DefaultConfig() }
+
+// SimulateConfig is Simulate with full control over the system config.
+func SimulateConfig(s *Scheme, b Benchmark, cfg SimConfig) (*SimResult, error) {
+	return memsys.Simulate(s, b, cfg)
+}
+
+// Lifetime estimates the Fig. 5b system lifetime in years for a scheme
+// under worst-case non-stop write traffic.
+func Lifetime(s *Scheme) (float64, error) {
+	return wear.Lifetime(s, wear.DefaultLifetimeParams())
+}
+
+// NewSuite builds the experiment harness (one method per paper figure).
+func NewSuite(accessesPerCore int) (*Suite, error) {
+	return experiments.NewSuite(accessesPerCore)
+}

@@ -1,0 +1,122 @@
+package reramsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibratedConfig(t *testing.T) {
+	cfg := CalibratedConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Params.K <= 0 {
+		t.Error("calibration left Eq.1 slope unset")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := CalibratedConfig()
+	up, err := UDRVRPR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Simulate(up, "mcf_m", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := Simulate(base, "mcf_m", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Speedup(r0) <= 1.5 {
+		t.Errorf("UDRVR+PR speedup over baseline = %.2f, want substantial", r1.Speedup(r0))
+	}
+	years, err := Lifetime(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if years < 10 {
+		t.Errorf("UDRVR+PR lifetime = %.1f years, want > 10", years)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if got := len(Benchmarks()); got != 11 {
+		t.Errorf("Benchmarks() returned %d, want 11", got)
+	}
+	if _, err := BenchmarkByName("lbm_m"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("zzz"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeArray(t *testing.T) {
+	arr, err := NewArray(CalibratedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.SimulateReset(ResetOp{Row: 0, Cols: []int{0}, Volts: []float64{3.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Veff[0] < 2.8 {
+		t.Errorf("no-drop corner Veff = %.3f, want near 3.0", res.Veff[0])
+	}
+}
+
+// TestLadderMatchesReferenceViaFacade re-runs the cross-solver validation
+// through the public API on a small array.
+func TestLadderMatchesReferenceViaFacade(t *testing.T) {
+	cfg := calibratedSmall(64)
+	arr, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := arr.SimulateReset(ResetOp{Row: 63, Cols: []int{63}, Volts: []float64{3.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := fullSolverWorstCase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(fast.Veff[0] - full); diff > 5e-3 {
+		t.Errorf("fast %.4f vs full %.4f (diff %.1f mV)", fast.Veff[0], full, diff*1e3)
+	}
+}
+
+func TestOracleFacade(t *testing.T) {
+	cfg := CalibratedConfig()
+	ora, err := Oracle(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := ora.WorstWriteCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.ResetLatency > 200e-9 {
+		t.Errorf("ora-64 worst RESET = %.0f ns, should be fast", wc.ResetLatency*1e9)
+	}
+}
+
+func TestNewSuiteFacade(t *testing.T) {
+	s, err := NewSuite(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty Table IV")
+	}
+}
