@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"reramsim/internal/experiments"
+	"reramsim/internal/obs"
 	"reramsim/internal/trace"
 	"reramsim/internal/write"
 )
@@ -139,6 +140,62 @@ func BenchmarkCostWriteMemoized(b *testing.B) {
 		if _, err := s.CostWrite(300, 40, lw); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// obsBenchScheme builds the instrumented line-write hot path shared by
+// the observability benchmarks: a memoized CostWrite wrapped in a timing
+// scope, exactly as memsys.submitWrite runs it.
+func obsBenchScheme(b *testing.B) (*Scheme, write.LineWrite) {
+	b.Helper()
+	s, err := UDRVRPR(CalibratedConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lw write.LineWrite
+	for i := range lw.Arrays {
+		lw.Arrays[i] = write.ArrayWrite{Reset: 1 << uint(i%8), Set: 1}
+	}
+	if _, err := s.CostWrite(300, 40, lw); err != nil { // warm the table
+		b.Fatal(err)
+	}
+	return s, lw
+}
+
+// BenchmarkObsDisabled guards the observability off switch: with the
+// registry disabled the instrumented line-write hot path must add zero
+// allocations per op (each metric touch is a single atomic load).
+func BenchmarkObsDisabled(b *testing.B) {
+	s, lw := obsBenchScheme(b)
+	obs.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := obs.Time("memsys.line_write")
+		if _, err := s.CostWrite(300, 40, lw); err != nil {
+			b.Fatal(err)
+		}
+		stop()
+	}
+}
+
+// BenchmarkObsEnabled is the companion measurement with metrics on (no
+// trace sink), quantifying the cost of live counters and histograms.
+func BenchmarkObsEnabled(b *testing.B) {
+	s, lw := obsBenchScheme(b)
+	obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := obs.Time("memsys.line_write")
+		if _, err := s.CostWrite(300, 40, lw); err != nil {
+			b.Fatal(err)
+		}
+		stop()
 	}
 }
 

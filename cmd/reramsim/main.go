@@ -5,17 +5,26 @@
 // Usage:
 //
 //	reramsim -scheme UDRVR+PR -workload mcf_m -accesses 20000
+//	reramsim -scheme UDRVR+PR -workload mcf_m -metrics
+//	reramsim -scheme UDRVR+PR -workload mcf_m -trace-out events.jsonl
 //	reramsim -list
+//
+// Observability: -metrics dumps the metric registry after the run
+// (Prometheus-style text, or JSON with -metrics-format json), -trace-out
+// streams structured events as JSONL, and -pprof serves net/http/pprof.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"reramsim/internal/experiments"
+	"reramsim/internal/obs"
 	"reramsim/internal/wear"
 )
 
@@ -29,6 +38,11 @@ func main() {
 		lifetime = flag.Bool("lifetime", false, "also estimate the Fig. 5b system lifetime")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
 		list     = flag.Bool("list", false, "list schemes and workloads, then exit")
+
+		metrics    = flag.Bool("metrics", false, "dump the metric registry after the run")
+		metricsFmt = flag.String("metrics-format", "text", "metrics dump format: text (Prometheus-style) or json")
+		traceOut   = flag.String("trace-out", "", "write structured trace events as JSONL to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -36,6 +50,37 @@ func main() {
 		fmt.Println("schemes:  ", strings.Join(experiments.SchemeNames(), ", "))
 		fmt.Println("workloads:", strings.Join(experiments.Workloads(), ", "))
 		return
+	}
+	validateName("scheme", *scheme, experiments.SchemeNames())
+	validateName("workload", *workload, experiments.Workloads())
+	if *metricsFmt != "text" && *metricsFmt != "json" {
+		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
+	}
+
+	if *metrics || *traceOut != "" || *pprofAddr != "" {
+		obs.SetEnabled(true)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		sink := obs.NewJSONLSink(f)
+		obs.SetSink(sink)
+		defer func() {
+			obs.SetSink(nil)
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "reramsim: trace flush:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "reramsim: pprof:", err)
+			}
+		}()
 	}
 
 	suite, err := experiments.NewSuite(*accesses)
@@ -84,6 +129,7 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fail(err)
 		}
+		dumpMetrics(*metrics, *metricsFmt)
 		return
 	}
 
@@ -106,6 +152,41 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("lifetime    %.2f years under worst-case non-stop writes\n", years)
+	}
+	dumpMetrics(*metrics, *metricsFmt)
+}
+
+// validateName exits with a "did you mean ...?" error when name is not
+// one of the valid choices.
+func validateName(kind, name string, valid []string) {
+	for _, v := range valid {
+		if v == name {
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reramsim: unknown %s %q\n", kind, name)
+	if sugg := experiments.Suggest(name, valid); len(sugg) > 0 {
+		fmt.Fprintf(os.Stderr, "did you mean %s?\n", strings.Join(sugg, ", "))
+	} else {
+		fmt.Fprintf(os.Stderr, "valid %ss: %s\n", kind, strings.Join(valid, ", "))
+	}
+	os.Exit(2)
+}
+
+// dumpMetrics prints the registry after the run when -metrics is given.
+func dumpMetrics(enabled bool, format string) {
+	if !enabled {
+		return
+	}
+	snap := obs.Default().Snapshot()
+	var err error
+	if format == "json" {
+		err = snap.WriteJSON(os.Stdout)
+	} else {
+		err = snap.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -1,0 +1,16 @@
+package cache
+
+import "reramsim/internal/obs"
+
+// Hierarchy observability: per-level hit/miss counters plus L3 dirty
+// writebacks. Registered eagerly so a -metrics dump always includes the
+// series, zero-valued when the cached mode is off.
+var (
+	obsL1Hits     = obs.C("cache.l1.hits")
+	obsL1Misses   = obs.C("cache.l1.misses")
+	obsL2Hits     = obs.C("cache.l2.hits")
+	obsL2Misses   = obs.C("cache.l2.misses")
+	obsL3Hits     = obs.C("cache.l3.hits")
+	obsL3Misses   = obs.C("cache.l3.misses")
+	obsWritebacks = obs.C("cache.l3.writebacks")
+)

@@ -1,0 +1,35 @@
+package chargepump
+
+import (
+	"testing"
+
+	"reramsim/internal/obs"
+)
+
+func TestLevelTracker(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	})
+
+	before := obs.Default().Snapshot()
+	var tr LevelTracker
+	tr.Observe(0)    // ignored
+	tr.Observe(3.0)  // first level: settle, no switch
+	tr.Observe(3.0)  // unchanged
+	tr.Observe(3.66) // switch + settle
+	tr.Observe(3.3)  // switch + settle
+	tr.Observe(3.3)  // unchanged
+	d := obs.Default().Snapshot().Delta(before)
+
+	if got := d.Counters["chargepump.level_switches"]; got != 2 {
+		t.Errorf("level_switches = %d, want 2", got)
+	}
+	if got := d.Counters["chargepump.settle_events"]; got != 3 {
+		t.Errorf("settle_events = %d, want 3", got)
+	}
+	if tr.Level() != 3.3 {
+		t.Errorf("Level() = %g, want 3.3", tr.Level())
+	}
+}

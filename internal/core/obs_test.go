@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"reramsim/internal/obs"
+	"reramsim/internal/write"
+)
+
+// TestLineWriteEventsAndMetrics prices a single line write with the
+// tracer capturing into a memory sink and asserts the expected event
+// stream and metric updates: per-section RESET counters, the PR
+// partition-size distribution, and the priced-write trace event.
+func TestLineWriteEventsAndMetrics(t *testing.T) {
+	s := mustScheme(t, UDRVRPR)
+	// Warm the memo so the traced write is the steady-state path and the
+	// enabled-run deltas below are attributable to this one line write.
+	lw := write.LineWrite{}
+	lw.Arrays[0] = write.ArrayWrite{Reset: 1 << 7} // far mux: PR expands it
+	if _, err := s.CostWrite(300, 40, lw); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.SetEnabled(true)
+	sink := &obs.MemorySink{}
+	obs.SetSink(sink)
+	t.Cleanup(func() {
+		obs.SetSink(nil)
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	})
+
+	before := obs.Default().Snapshot()
+	cost, err := s.CostWrite(300, 40, lw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.Default().Snapshot().Delta(before)
+
+	// One array op in the section of row 300, expanded by PR to 4
+	// concurrent RESETs (bit 7 -> one per 2-bit group).
+	section := s.Levels().SectionOf(300, s.Array().Config().Size)
+	if got := delta.Counters["core.reset.section."+string(rune('0'+section))]; got != 1 {
+		t.Errorf("section %d counter delta = %d, want 1", section, got)
+	}
+	if got := delta.Counters["core.pr.partition_size.4"]; got != 1 {
+		t.Errorf("partition_size.4 delta = %d, want 1", got)
+	}
+	if got := delta.Counters["core.pr.compensating_sets"]; got != 3 {
+		t.Errorf("compensating_sets delta = %d, want 3", got)
+	}
+	if got := delta.Counters["core.writes_priced"]; got != 1 {
+		t.Errorf("writes_priced delta = %d, want 1", got)
+	}
+	if h := delta.Histograms["core.reset.latency_ns"]; h.Count != 1 {
+		t.Errorf("reset latency histogram delta count = %d, want 1", h.Count)
+	}
+	if cost.Level <= 0 {
+		t.Errorf("LineCost.Level = %g, want > 0 while instrumented", cost.Level)
+	}
+	if cost.Section != section {
+		t.Errorf("LineCost.Section = %d, want %d", cost.Section, section)
+	}
+
+	// The event stream for one memoized line write is exactly one priced
+	// event (no solver events: the memo was warm), with Seq increasing.
+	evs := sink.Events()
+	if len(evs) != 1 {
+		t.Fatalf("captured %d events, want 1: %+v", len(evs), evs)
+	}
+	ev := evs[0]
+	if ev.Kind != "core.write.priced" {
+		t.Errorf("event kind = %q, want core.write.priced", ev.Kind)
+	}
+	if ev.Value <= 0 {
+		t.Errorf("event value = %g, want positive latency ns", ev.Value)
+	}
+	if ev.Labels["resets"] != "4" {
+		t.Errorf("event labels = %v, want resets=4", ev.Labels)
+	}
+
+	// A cold op on a different offset bucket emits solver events too, in
+	// strictly increasing Seq order after the first event.
+	if _, err := s.CostWrite(10, 0, lw); err != nil {
+		t.Fatal(err)
+	}
+	evs = sink.Events()
+	if len(evs) < 2 {
+		t.Fatalf("cold write emitted no further events")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq not strictly increasing: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	foundSolve := false
+	for _, e := range evs {
+		if e.Kind == "xpoint.reset.solve" {
+			foundSolve = true
+		}
+	}
+	if !foundSolve {
+		t.Error("cold write emitted no xpoint.reset.solve event")
+	}
+}

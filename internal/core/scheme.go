@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"reramsim/internal/chargepump"
+	"reramsim/internal/obs"
 	"reramsim/internal/write"
 	"reramsim/internal/xpoint"
 )
@@ -206,6 +207,13 @@ type LineCost struct {
 	DummyResets int // D-BL dummy-column RESETs
 	PumpRounds  int // total pump iterations across both phases
 	Failed      bool
+
+	// Section is the DRVR section the priced row belongs to.
+	Section int
+	// Level is the highest applied RESET level of the write (V), used by
+	// the pump level-switch tracker. Only populated while observability
+	// is enabled; zero otherwise and for SET-only writes.
+	Level float64
 }
 
 // Latency returns the total write service latency.
@@ -228,10 +236,13 @@ func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error
 	}
 	section := s.levels.SectionOf(row, cfg.Size)
 	offB := offset * offsetBuckets / cfg.MuxWidth()
+	instrumented := obs.Enabled()
 
 	var out LineCost
+	out.Section = section
 	var maxResetLat float64
 	for _, aw := range lw.Arrays {
+		pre := aw
 		if s.opt.PR {
 			aw = write.PartitionReset(aw)
 		}
@@ -247,6 +258,16 @@ func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error
 		out.DummyResets += bits.OnesCount8(dummies)
 		if resetMask == 0 {
 			continue
+		}
+		if instrumented {
+			s.recordArrayOp(section, pre, aw)
+			for b := 0; b < 8; b++ {
+				if resetMask&(1<<b) != 0 {
+					if v := s.levels.At(section, b); v > out.Level {
+						out.Level = v
+					}
+				}
+			}
 		}
 		c, err := s.opCost(opKey{section: uint8(section), offB: uint8(offB), mask: resetMask})
 		if err != nil {
@@ -278,6 +299,9 @@ func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error
 	// pump's own per-round overhead.
 	out.Energy = s.pump.DeliveredEnergy(out.Energy) +
 		s.pump.PhaseOverheadEnergy(resetRounds) + s.pump.PhaseOverheadEnergy(setRounds)
+	if instrumented {
+		recordLineCost(out)
+	}
 	return out, nil
 }
 
@@ -296,8 +320,10 @@ func (s *Scheme) opCost(k opKey) (opCost, error) {
 	c, ok := s.memo[k]
 	s.mu.Unlock()
 	if ok {
+		obsMemoHits.Inc()
 		return c, nil
 	}
+	obsMemoMisses.Inc()
 	c, err := s.solveOp(k)
 	if err != nil {
 		return opCost{}, err

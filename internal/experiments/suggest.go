@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+)
+
+// Suggest returns up to three candidates closest to name by edit
+// distance, nearest first, for "did you mean ...?" errors. Only
+// candidates within a distance proportional to the name's length are
+// offered, so garbage input suggests nothing.
+func Suggest(name string, candidates []string) []string {
+	type scored struct {
+		name string
+		d    int
+	}
+	limit := len(name)/2 + 2
+	var close []scored
+	for _, c := range candidates {
+		d := editDistance(strings.ToLower(name), strings.ToLower(c))
+		if d <= limit {
+			close = append(close, scored{c, d})
+		}
+	}
+	sort.SliceStable(close, func(i, j int) bool { return close[i].d < close[j].d })
+	if len(close) > 3 {
+		close = close[:3]
+	}
+	out := make([]string, len(close))
+	for i, s := range close {
+		out[i] = s.name
+	}
+	return out
+}
+
+// editDistance returns the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

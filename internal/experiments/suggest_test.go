@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"UDRVR+PR", "UDRVR-PR", 1},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuggestSchemes(t *testing.T) {
+	got := Suggest("udrvr+pr", SchemeNames())
+	if len(got) == 0 || got[0] != "UDRVR+PR" {
+		t.Fatalf("Suggest(udrvr+pr) = %v, want UDRVR+PR first", got)
+	}
+	got = Suggest("DRVR-PR", SchemeNames())
+	if len(got) == 0 || got[0] != "DRVR+PR" {
+		t.Fatalf("Suggest(DRVR-PR) = %v, want DRVR+PR first", got)
+	}
+	if got := Suggest("mcf_n", Workloads()); len(got) == 0 || got[0] != "mcf_m" {
+		t.Fatalf("Suggest(mcf_n) = %v, want mcf_m first", got)
+	}
+	if got := Suggest("zzzzzzzzzzzzzzzzzzzz", SchemeNames()); len(got) != 0 {
+		t.Fatalf("Suggest(garbage) = %v, want none", got)
+	}
+	if got := Suggest("base", SchemeNames()); len(got) > 3 {
+		t.Fatalf("Suggest returned %d candidates, want <= 3", len(got))
+	}
+}

@@ -5,10 +5,12 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"reramsim/internal/core"
 	"reramsim/internal/memsys"
+	"reramsim/internal/obs"
 	"reramsim/internal/trace"
 	"reramsim/internal/xpoint"
 )
@@ -23,6 +25,12 @@ type Suite struct {
 	mu      sync.Mutex
 	schemes map[string]*core.Scheme
 	sims    map[string]*memsys.Result
+
+	// metrics holds the per-simulation observability snapshot (registry
+	// delta across the run) keyed scheme/workload, captured while
+	// obs.Enabled() so paper tables can be cross-checked against the
+	// internal distributions that produced them.
+	metrics map[string]obs.Snapshot
 
 	// variant suites for the sweep figures (array size, node, Kr).
 	variants map[string]*Suite
@@ -58,6 +66,7 @@ func newSuitePrecalibrated(cfg xpoint.Config, accessesPerCore int) *Suite {
 		MemCfg:   mc,
 		schemes:  make(map[string]*core.Scheme),
 		sims:     make(map[string]*memsys.Result),
+		metrics:  make(map[string]obs.Snapshot),
 		variants: make(map[string]*Suite),
 	}
 }
@@ -122,14 +131,47 @@ func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With observability on, bracket the run with registry snapshots so
+	// the delta attributes counters to this simulation. Concurrent Sim
+	// calls interleave their counts; the attribution is then best-effort.
+	capture := obs.Enabled()
+	var before obs.Snapshot
+	if capture {
+		before = obs.Default().Snapshot()
+	}
 	r, err := memsys.Simulate(sc, b, s.MemCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
 	}
 	s.mu.Lock()
 	s.sims[key] = r
+	if capture {
+		s.metrics[key] = obs.Default().Snapshot().Delta(before)
+	}
 	s.mu.Unlock()
 	return r, nil
+}
+
+// Metrics returns the observability snapshot captured for a cached
+// simulation (the registry delta across that run). The second result is
+// false when the simulation has not run, or ran with observability off.
+func (s *Suite) Metrics(scheme, workload string) (obs.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.metrics[scheme+"/"+workload]
+	return snap, ok
+}
+
+// MetricsKeys lists the scheme/workload keys with captured snapshots.
+func (s *Suite) MetricsKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.metrics))
+	for k := range s.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Variant returns a cached sub-suite with a modified array configuration

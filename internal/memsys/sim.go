@@ -6,9 +6,11 @@ import (
 	"math"
 
 	"reramsim/internal/cache"
+	"reramsim/internal/chargepump"
 	"reramsim/internal/core"
 	"reramsim/internal/cpu"
 	"reramsim/internal/energy"
+	"reramsim/internal/obs"
 	"reramsim/internal/trace"
 	"reramsim/internal/wear"
 	"reramsim/internal/write"
@@ -127,6 +129,11 @@ type sim struct {
 	bankFreeAt []float64
 	pumpFreeAt []float64
 
+	// Observability state: per-bank issue counters (nil when disabled)
+	// and the per-rank pump level trackers.
+	bankOps   []*obs.Counter
+	pumpTrack []chargepump.LevelTracker
+
 	leveler    *wear.SecurityRefresh
 	shifter    wear.RowShifter
 	lineWrites map[uint64]uint64
@@ -156,6 +163,8 @@ func Simulate(s *core.Scheme, bench trace.Benchmark, cfg Config) (*Result, error
 		pumpFreeAt: make([]float64, cfg.Ranks),
 		lineWrites: make(map[uint64]uint64),
 		shifter:    wear.NewRowShifter(),
+		bankOps:    newBankCounters(cfg.Banks()),
+		pumpTrack:  make([]chargepump.LevelTracker, cfg.Ranks),
 	}
 	sm.res.Workload = bench.Name
 	sm.res.Scheme = s.Name()
@@ -345,10 +354,12 @@ func (s *sim) submitRead(now float64, i int, line uint64) bool {
 		return false
 	}
 	s.readQ = append(s.readQ, req)
+	obsReadQDepth.Observe(float64(len(s.readQ)))
 	return true
 }
 
 func (s *sim) submitWrite(now float64, i int, a trace.Access) error {
+	defer obs.Time("memsys.line_write")()
 	lw, _, err := write.FlipNWrite(a.Old[:], a.New[:])
 	if err != nil {
 		return err
@@ -364,6 +375,7 @@ func (s *sim) submitWrite(now float64, i int, a trace.Access) error {
 		return nil
 	}
 	s.writeQ = append(s.writeQ, req)
+	obsWriteQDepth.Observe(float64(len(s.writeQ)))
 	s.scheduleNextAccess(i, now) // posted write: the core moves on
 	return nil
 }
@@ -374,6 +386,7 @@ func (s *sim) tryIssue(now float64) error {
 	if len(s.writeQ) >= s.cfg.WriteQueue && !s.burst {
 		s.burst = true
 		s.res.WriteBursts++
+		obsBursts.Inc()
 	}
 	for {
 		progress := false
@@ -412,6 +425,14 @@ func (s *sim) issueReads(now float64) bool {
 		s.res.Reads++
 		s.readLatSum += complete - req.arrival
 		s.res.Energy.Read += energy.ReadEnergyPerLine
+		obsReads.Inc()
+		obsReadLat.Observe((complete - req.arrival) * 1e9)
+		if s.bankOps != nil {
+			s.bankOps[req.bank].Inc()
+		}
+		if obs.Tracing() {
+			obs.Emit("memsys.read.issue", (complete-req.arrival)*1e9)
+		}
 
 		s.readQ = append(s.readQ[:qi], s.readQ[qi+1:]...)
 		issued = true
@@ -439,6 +460,15 @@ func (s *sim) issueWrites(now float64) bool {
 		s.res.CellsWritten += uint64(req.cost.CellsWritten() + req.cost.DummyResets)
 		if req.cost.Failed {
 			s.res.WriteFailures++
+		}
+		obsWrites.Inc()
+		obsWriteWait.Observe((done - req.arrival) * 1e9)
+		s.pumpTrack[req.rank].Observe(req.cost.Level)
+		if s.bankOps != nil {
+			s.bankOps[req.bank].Inc()
+		}
+		if obs.Tracing() {
+			obs.Emit("memsys.write.issue", (done-req.arrival)*1e9)
 		}
 
 		s.writeQ = append(s.writeQ[:qi], s.writeQ[qi+1:]...)

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BucketCount is one histogram bucket in a snapshot: the inclusive upper
+// bound (math.Inf(1) for the overflow bucket, rendered as "+Inf") and the
+// number of observations that landed in it.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the +Inf overflow bound as the string "+Inf", which
+// encoding/json cannot represent as a number.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = fmt.Sprintf("%g", b.LE)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON parses the string form written by MarshalJSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	_, err := fmt.Sscanf(raw.LE, "%g", &b.LE)
+	return err
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry. Maps marshal with
+// sorted keys, so the JSON form is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     h.Sum(),
+			Buckets: make([]BucketCount, len(h.counts)),
+		}
+		// An empty histogram reports 0/0 rather than the +/-Inf sentinels,
+		// which would break JSON encoding.
+		if hs.Count > 0 {
+			hs.Min = math.Float64frombits(h.minBits.Load())
+			hs.Max = math.Float64frombits(h.maxBits.Load())
+		}
+		for i := range h.counts {
+			le := math.Inf(1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets[i] = BucketCount{LE: le, Count: h.counts[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Delta returns s minus prev: counter values and histogram counts/sums
+// are subtracted (attributing activity to the interval between the two
+// snapshots); gauges and histogram min/max keep their current values.
+// Metrics absent from prev pass through unchanged.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		d := HistogramSnapshot{
+			Count:   h.Count - p.Count,
+			Sum:     h.Sum - p.Sum,
+			Min:     h.Min,
+			Max:     h.Max,
+			Buckets: make([]BucketCount, len(h.Buckets)),
+		}
+		for i, b := range h.Buckets {
+			c := b.Count
+			if i < len(p.Buckets) && p.Buckets[i].LE == b.LE {
+				c -= p.Buckets[i].Count
+			}
+			d.Buckets[i] = BucketCount{LE: b.LE, Count: c}
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot in Prometheus-style text exposition:
+// one "name value" line per counter and gauge, and _bucket/_sum/_count
+// lines per histogram. Dots in metric names become underscores.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(n), promName(n), s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(n), promName(n), s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.LE, 1) {
+				le = fmt.Sprintf("%g", b.LE)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "time"
+
+// nopStop is the shared disabled-path stop function: returning it keeps
+// Time allocation-free when observability is off.
+var nopStop = func() {}
+
+// Time starts a wall-clock timing scope recording into the histogram
+// name+"_ns" of the default registry. Use as
+//
+//	defer obs.Time("memsys.line_write")()
+//
+// When observability is disabled it returns a shared no-op, so the scope
+// costs one atomic load and no allocation.
+func Time(name string) func() {
+	if !enabled.Load() {
+		return nopStop
+	}
+	h := H(name+"_ns", LatencyBoundsNS())
+	start := time.Now()
+	return func() {
+		h.Observe(float64(time.Since(start).Nanoseconds()))
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured trace record. Seq is assigned by the tracer
+// and strictly increases in emission order; Value carries the event's
+// scalar payload (a latency in ns, a voltage level, ...); Labels are
+// optional dimensions and should only be built when Tracing() is true
+// (the map allocation is the caller's).
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Sink receives emitted events. Emit is called under the tracer's lock,
+// so implementations need no further ordering but must not re-enter the
+// tracer.
+type Sink interface {
+	Emit(Event)
+}
+
+// ringSize bounds the in-process ring buffer of recent events kept for
+// post-mortem inspection independent of the sink.
+const ringSize = 4096
+
+var trc struct {
+	on   atomic.Bool
+	mu   sync.Mutex
+	seq  uint64
+	sink Sink
+	ring [ringSize]Event
+	n    uint64 // total events emitted
+}
+
+// Tracing reports whether a sink is installed. Call sites building label
+// maps must check this first so the disabled path stays allocation-free.
+func Tracing() bool { return trc.on.Load() }
+
+// SetSink installs (or, with nil, removes) the tracer sink. The event
+// sequence keeps increasing across sink changes.
+func SetSink(s Sink) {
+	trc.mu.Lock()
+	trc.sink = s
+	trc.mu.Unlock()
+	trc.on.Store(s != nil)
+}
+
+// Emit records a label-free event.
+func Emit(kind string, value float64) {
+	if !trc.on.Load() {
+		return
+	}
+	emit(Event{Kind: kind, Value: value})
+}
+
+// EmitL records an event with labels. Guard the call (and the map
+// construction) with Tracing() in hot paths.
+func EmitL(kind string, value float64, labels map[string]string) {
+	if !trc.on.Load() {
+		return
+	}
+	emit(Event{Kind: kind, Value: value, Labels: labels})
+}
+
+func emit(ev Event) {
+	trc.mu.Lock()
+	defer trc.mu.Unlock()
+	trc.seq++
+	ev.Seq = trc.seq
+	trc.ring[trc.n%ringSize] = ev
+	trc.n++
+	if trc.sink != nil {
+		trc.sink.Emit(ev)
+	}
+}
+
+// Recent returns up to n of the most recently emitted events, oldest
+// first.
+func Recent(n int) []Event {
+	trc.mu.Lock()
+	defer trc.mu.Unlock()
+	total := trc.n
+	if uint64(n) > total {
+		n = int(total)
+	}
+	if n > ringSize {
+		n = ringSize
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = trc.ring[(total-uint64(n)+uint64(i))%ringSize]
+	}
+	return out
+}
+
+// NopSink discards every event. Installing it exercises the tracing path
+// without retaining anything; leaving the sink nil is cheaper still.
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(Event) {}
+
+// MemorySink captures events in memory for tests.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(ev Event) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything captured so far.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Reset discards captured events.
+func (m *MemorySink) Reset() {
+	m.mu.Lock()
+	m.events = m.events[:0]
+	m.mu.Unlock()
+}
+
+// JSONLSink streams events as one JSON object per line. Writes are
+// buffered; call Flush before closing the underlying writer.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. The first write error sticks and is reported by
+// Flush; later events are dropped.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}

@@ -76,3 +76,53 @@ func TestFormatFloatSpecials(t *testing.T) {
 		t.Errorf("zero renders as %q", formatFloat(0))
 	}
 }
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if got := GeoMean([]float64{}); got != 0 {
+		t.Errorf("GeoMean(empty) = %g, want 0", got)
+	}
+	if got := GeoMean([]float64{-2, -1, 0}); got != 0 {
+		t.Errorf("GeoMean(all non-positive) = %g, want 0", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean(single) = %g, want 5", got)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if got := Mean([]float64{}); got != 0 {
+		t.Errorf("Mean(empty) = %g, want 0", got)
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Errorf("Mean(single) = %g, want 7", got)
+	}
+	if got := Mean([]float64{-1, 1}); got != 0 {
+		t.Errorf("Mean(-1,1) = %g, want 0", got)
+	}
+}
+
+// TestTableRaggedRows exercises rows shorter and longer than the header:
+// short rows must still align, and extra cells are kept verbatim rather
+// than dropped or panicking on the width lookup.
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("Ragged", "a", "b", "c")
+	tb.Add("only")                          // shorter than header
+	tb.Add("w", "x", "y", "z-extra")        // longer than header
+	tb.AddF("n", 1.0, 2, uint64(3), "tail") // AddF with an overflow cell
+	out := tb.String()
+	for _, want := range []string{"only", "z-extra", "tail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Alignment: column b starts at the same offset in header and in the
+	// full-width rows.
+	header, full := lines[1], lines[4]
+	if strings.Index(header, "b") != strings.Index(full, "x") {
+		t.Errorf("column misaligned with ragged rows:\n%s", out)
+	}
+}

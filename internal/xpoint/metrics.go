@@ -1,0 +1,41 @@
+package xpoint
+
+import (
+	"math"
+
+	"reramsim/internal/obs"
+)
+
+// Solver-level observability. The handles are resolved once at package
+// init so SimulateReset pays only gated atomic updates; with obs
+// disabled the whole block reduces to one atomic load.
+var (
+	obsSolves    = obs.C("xpoint.reset.solves")
+	obsFailed    = obs.C("xpoint.reset.failed")
+	obsVeff      = obs.H("xpoint.reset.veff_v", obs.VoltageBounds())
+	obsLatency   = obs.H("xpoint.reset.latency_ns", obs.LatencyBoundsNS())
+	obsWorstDrop = obs.G("xpoint.reset.worst_drop_v")
+)
+
+// recordReset publishes one solved RESET op's electrical outcome.
+func recordReset(op ResetOp, res *ResetResult) {
+	if !obs.Enabled() {
+		return
+	}
+	obsSolves.Inc()
+	if res.Failed {
+		obsFailed.Inc()
+	}
+	for i, v := range res.Veff {
+		obsVeff.Observe(v)
+		obsWorstDrop.SetMax(op.Volts[i] - v)
+	}
+	// Failed ops report +Inf latency; keep the histogram (and any JSON
+	// dump of it) finite.
+	if !math.IsInf(res.Latency, 1) {
+		obsLatency.Observe(res.Latency * 1e9)
+		if obs.Tracing() {
+			obs.Emit("xpoint.reset.solve", res.Latency*1e9)
+		}
+	}
+}

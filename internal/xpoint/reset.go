@@ -193,6 +193,7 @@ func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 			res.Latency = lat
 		}
 	}
+	recordReset(op, res)
 	return res, nil
 }
 
