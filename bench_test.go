@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"reramsim/internal/experiments"
+	"reramsim/internal/fault"
 	"reramsim/internal/obs"
 	"reramsim/internal/trace"
 	"reramsim/internal/write"
@@ -81,6 +82,7 @@ func BenchmarkTableIV(b *testing.B)  { benchExperiment(b, "table4") }
 func BenchmarkExtReadMargin(b *testing.B)   { benchExperiment(b, "ext-read") }
 func BenchmarkExtEq1Kinetics(b *testing.B)  { benchExperiment(b, "ext-eq1") }
 func BenchmarkExtPROptimality(b *testing.B) { benchExperiment(b, "ext-propt") }
+func BenchmarkExtFault(b *testing.B)        { benchExperiment(b, "ext-fault") }
 
 // --- Micro benchmarks -------------------------------------------------
 
@@ -196,6 +198,33 @@ func BenchmarkObsEnabled(b *testing.B) {
 			b.Fatal(err)
 		}
 		stop()
+	}
+}
+
+// BenchmarkFaultDisabled guards the fault-injection off switch: with the
+// "none" profile the injector is nil and every fault query on the
+// line-write hot path must stay a branch — zero allocations per op, no
+// overhead beyond the instrumented CostWrite itself.
+func BenchmarkFaultDisabled(b *testing.B) {
+	s, lw := obsBenchScheme(b)
+	var inj *fault.Injector // the disabled injector is nil
+	obs.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inj.Enabled() {
+			b.Fatal("nil injector reported enabled")
+		}
+		c, err := s.CostWrite(300, 40, lw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dv := inj.Undershoot(0); inj.AttemptFails(0, c.MinMargin-dv, dv > 0) {
+			b.Fatal("nil injector failed an attempt")
+		}
+		if _, stuck := inj.StuckAfterWrite(0, c.Resets); stuck {
+			b.Fatal("nil injector stuck a cell")
+		}
 	}
 }
 

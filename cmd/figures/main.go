@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,10 +37,17 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels between simulations: experiments already printed
+	// stay on screen and the run stops at the next checkpoint instead of
+	// grinding through the rest of the grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	suite, err := experiments.NewSuite(*accesses)
 	if err != nil {
 		fail(err)
 	}
+	suite.SetContext(ctx)
 
 	var selected []experiments.Experiment
 	if *exp == "" {
@@ -61,6 +71,10 @@ func main() {
 		start := time.Now()
 		out, err := e.Run(suite)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "figures: interrupted during %s; results above are partial\n", e.ID)
+				os.Exit(130)
+			}
 			fail(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Printf("== %s (%s, %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)

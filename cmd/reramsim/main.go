@@ -15,15 +15,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 
 	"reramsim/internal/experiments"
+	"reramsim/internal/fault"
 	"reramsim/internal/obs"
 	"reramsim/internal/wear"
 )
@@ -39,6 +42,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
 		list     = flag.Bool("list", false, "list schemes and workloads, then exit")
 
+		faultProfile = flag.String("fault-profile", "none", "fault-injection profile: "+strings.Join(fault.Profiles(), ", "))
+		faultSeed    = flag.Int64("fault-seed", 0, "fault generator seed (0 reuses -seed)")
+		maxRetries   = flag.Int("max-write-retries", 3, "write-verify retries before a cell is declared stuck")
+
 		metrics    = flag.Bool("metrics", false, "dump the metric registry after the run")
 		metricsFmt = flag.String("metrics-format", "text", "metrics dump format: text (Prometheus-style) or json")
 		traceOut   = flag.String("trace-out", "", "write structured trace events as JSONL to this file")
@@ -53,6 +60,10 @@ func main() {
 	}
 	validateName("scheme", *scheme, experiments.SchemeNames())
 	validateName("workload", *workload, experiments.Workloads())
+	validateName("fault-profile", *faultProfile, fault.Profiles())
+	if *maxRetries < 0 {
+		fail(fmt.Errorf("negative -max-write-retries %d", *maxRetries))
+	}
 	if *metricsFmt != "text" && *metricsFmt != "json" {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
 	}
@@ -83,12 +94,21 @@ func main() {
 		}()
 	}
 
+	// Ctrl-C cancels between simulations: the suite returns what it has
+	// instead of running the remaining work to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	suite, err := experiments.NewSuite(*accesses)
 	if err != nil {
 		fail(err)
 	}
+	suite.SetContext(ctx)
 	suite.MemCfg.UseCaches = *caches
 	suite.MemCfg.Seed = *seed
+	suite.MemCfg.FaultProfile = *faultProfile
+	suite.MemCfg.FaultSeed = *faultSeed
+	suite.MemCfg.MaxWriteRetries = *maxRetries
 
 	sc, err := suite.Scheme(*scheme)
 	if err != nil {
@@ -117,6 +137,9 @@ func main() {
 				"total": res.Energy.Total(),
 			},
 		}
+		if res.Reliability != nil {
+			out["reliability"] = res.Reliability
+		}
 		if *lifetime {
 			years, err := wear.Lifetime(sc, wear.DefaultLifetimeParams())
 			if err != nil {
@@ -144,6 +167,12 @@ func main() {
 		e.Total(), e.Read, e.Write, e.Leakage, e.Pump)
 	if res.WriteFailures > 0 {
 		fmt.Printf("WARNING     %d write failures (effective Vrst below threshold)\n", res.WriteFailures)
+	}
+	if rel := res.Reliability; rel != nil {
+		fmt.Printf("faults      profile %s: %d retries (%d verify failures, max escalation %d, %.3g J)\n",
+			rel.Profile, rel.WriteRetries, rel.VerifyFailures, rel.MaxEscalation, rel.RetryEnergy)
+		fmt.Printf("degradation %d stuck cells, %d retired lines, %d uncorrectable\n",
+			rel.StuckCells, rel.RetiredLines, rel.Uncorrectable)
 	}
 
 	if *lifetime {

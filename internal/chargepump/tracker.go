@@ -7,8 +7,9 @@ import "reramsim/internal/obs"
 // and each switch costs a regulator settle. The counters quantify that
 // churn system-wide; each rank's memory controller owns one tracker.
 var (
-	obsSwitches = obs.C("chargepump.level_switches")
-	obsSettles  = obs.C("chargepump.settle_events")
+	obsSwitches    = obs.C("chargepump.level_switches")
+	obsSettles     = obs.C("chargepump.settle_events")
+	obsUndershoots = obs.C("chargepump.undershoot_events")
 )
 
 // LevelTracker follows one pump's requested output level across writes,
@@ -46,3 +47,17 @@ func (t *LevelTracker) Observe(level float64) {
 
 // Level returns the last observed output level (0 before any write).
 func (t *LevelTracker) Level() float64 { return t.last }
+
+// ObserveUndershoot records a settle that reported ready while the
+// output sat dv volts below target (a fault-injection event); the next
+// write attempt sees a reduced delivered margin. Non-positive deficits
+// are ignored.
+func (t *LevelTracker) ObserveUndershoot(dv float64) {
+	if dv <= 0 {
+		return
+	}
+	obsUndershoots.Inc()
+	if obs.Tracing() {
+		obs.Emit("chargepump.undershoot", dv)
+	}
+}

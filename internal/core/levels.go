@@ -39,6 +39,19 @@ func FlatLevels(sections, muxes int, v float64) *LevelTable {
 // At returns the level for a cell at the given row and column mux.
 func (t *LevelTable) At(section, mux int) float64 { return t.V[section][mux] }
 
+// Escalated returns the level of (section, mux) raised by esc write-verify
+// retry steps of step volts each, clamped at cap. A per-section table
+// (DRVR/UDRVR) escalates each section from its own calibrated level; a
+// flat table (baseline) escalates its single global level — both are the
+// same uniform offset on whatever the op would have applied.
+func (t *LevelTable) Escalated(section, mux, esc int, step, cap float64) float64 {
+	v := t.V[section][mux] + float64(esc)*step
+	if v > cap {
+		v = cap
+	}
+	return v
+}
+
 // Max returns the largest level in the table (the pump output the scheme
 // requires).
 func (t *LevelTable) Max() float64 {

@@ -70,14 +70,25 @@ type opKey struct {
 	section uint8
 	offB    uint8
 	mask    uint8
+	esc     uint8 // write-verify retry escalation steps above the table
 }
 
 type opCost struct {
 	latency float64
 	energy  float64
 	itotal  float64
+	vmin    float64 // smallest delivered effective Vrst of the op
 	failed  bool
 }
+
+// Write-verify retry escalation: each retry raises the applied RESET
+// level by EscalationStep volts above the calibrated table, capped at
+// EscalationCap (the charge-pump model's tallest supported output, the
+// §VI 3.94 V three-stage pump).
+const (
+	EscalationStep = 0.1
+	EscalationCap  = 3.94
+)
 
 // offsetBuckets quantizes the column-mux offset for the cost table; each
 // bucket is represented by its worst (largest) offset.
@@ -214,6 +225,10 @@ type LineCost struct {
 	// the pump level-switch tracker. Only populated while observability
 	// is enabled; zero otherwise and for SET-only writes.
 	Level float64
+	// MinMargin is the smallest delivered effective Vrst above the write
+	// threshold across the write's RESET cells (V); +Inf for SET-only
+	// writes. Write-verify failure probability is a function of it.
+	MinMargin float64
 }
 
 // Latency returns the total write service latency.
@@ -226,6 +241,27 @@ func (c LineCost) CellsWritten() int { return c.Resets + c.Sets }
 // offset. The row should already reflect inter-line wear leveling; SCH's
 // remapping is applied internally.
 func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error) {
+	return s.costWrite(row, offset, lw, 0)
+}
+
+// CostWriteRetry prices a write-verify retry of the same line write with
+// the applied RESET levels escalated `escalation` steps of
+// EscalationStep volts above the calibrated table (capped at
+// EscalationCap). Per-section tables (DRVR/UDRVR) escalate from the
+// failing section's own level; flat tables escalate their global level —
+// one op only ever touches one section, so both are the same uniform
+// boost on the retried op.
+func (s *Scheme) CostWriteRetry(row, offset int, lw write.LineWrite, escalation int) (LineCost, error) {
+	if escalation < 1 {
+		escalation = 1
+	}
+	if escalation > 255 {
+		escalation = 255
+	}
+	return s.costWrite(row, offset, lw, uint8(escalation))
+}
+
+func (s *Scheme) costWrite(row, offset int, lw write.LineWrite, esc uint8) (LineCost, error) {
 	cfg := s.arr.Config()
 	row = s.RemapRow(row)
 	if row < 0 || row >= cfg.Size {
@@ -240,6 +276,7 @@ func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error
 
 	var out LineCost
 	out.Section = section
+	out.MinMargin = math.Inf(1)
 	var maxResetLat float64
 	for _, aw := range lw.Arrays {
 		pre := aw
@@ -263,18 +300,21 @@ func (s *Scheme) CostWrite(row, offset int, lw write.LineWrite) (LineCost, error
 			s.recordArrayOp(section, pre, aw)
 			for b := 0; b < 8; b++ {
 				if resetMask&(1<<b) != 0 {
-					if v := s.levels.At(section, b); v > out.Level {
+					if v := s.levels.Escalated(section, b, int(esc), EscalationStep, EscalationCap); v > out.Level {
 						out.Level = v
 					}
 				}
 			}
 		}
-		c, err := s.opCost(opKey{section: uint8(section), offB: uint8(offB), mask: resetMask})
+		c, err := s.opCost(opKey{section: uint8(section), offB: uint8(offB), mask: resetMask, esc: esc})
 		if err != nil {
 			return LineCost{}, err
 		}
 		if c.latency > maxResetLat {
 			maxResetLat = c.latency
+		}
+		if m := c.vmin - cfg.Params.VwriteMin; m < out.MinMargin {
+			out.MinMargin = m
 		}
 		out.Energy += c.energy
 		if c.failed {
@@ -368,7 +408,7 @@ func (s *Scheme) solveOp(k opKey) (opCost, error) {
 			continue
 		}
 		cols = append(cols, cfg.ColumnOfBit(b, offset))
-		volts = append(volts, s.levels.At(int(k.section), b))
+		volts = append(volts, s.levels.Escalated(int(k.section), b, int(k.esc), EscalationStep, EscalationCap))
 	}
 	res, err := s.arr.SimulateReset(xpoint.ResetOp{Row: row, Cols: cols, Volts: volts})
 	if err != nil {
@@ -411,6 +451,7 @@ func (s *Scheme) solveOp(k opKey) (opCost, error) {
 		latency: lat,
 		energy:  energy,
 		itotal:  res.Itotal,
+		vmin:    res.MinVeff(),
 		failed:  res.Failed,
 	}, nil
 }

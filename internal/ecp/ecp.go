@@ -7,10 +7,16 @@
 package ecp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 )
+
+// ErrDead reports a failure the line could not absorb: its ECP spares
+// are exhausted (now, or from an earlier exhaustion) and the line must
+// be retired. Test with errors.Is.
+var ErrDead = errors.New("ecp: line dead (spares exhausted)")
 
 // Line is the ECP state of one memory line: up to Spares stuck cells can
 // be remapped to replacement cells.
@@ -37,27 +43,29 @@ func (l *Line) Spares() int { return l.spares - len(l.patched) }
 // Patched reports whether the cell at idx has been replaced.
 func (l *Line) Patched(idx int) bool { return l.patched[idx] }
 
-// Fail marks the cell at idx as permanently stuck. It returns false when
-// the failure could not be absorbed (no spare left), in which case the
-// line is dead. Failing an already patched cell consumes nothing (the
-// replacement cell is assumed healthy: replacement cells are provisioned
-// with far fewer writes than data cells absorb).
-func (l *Line) Fail(idx int) bool {
+// Fail marks the cell at idx as permanently stuck. It returns nil when
+// the failure is absorbed — a fresh spare is consumed, or the cell was
+// already patched, which consumes nothing (the replacement cell is
+// assumed healthy: replacement cells are provisioned with far fewer
+// writes than data cells absorb) — and ErrDead when no spare is left,
+// in which case the line is dead. A dead line stays dead: every later
+// failure reports ErrDead, even at a previously patched index.
+func (l *Line) Fail(idx int) error {
 	if idx < 0 || idx >= l.cells {
 		panic(fmt.Sprintf("ecp: cell index %d out of range", idx))
 	}
 	if l.Dead {
-		return false
+		return ErrDead
 	}
 	if l.patched[idx] {
-		return true
+		return nil
 	}
 	if len(l.patched) >= l.spares {
 		l.Dead = true
-		return false
+		return ErrDead
 	}
 	l.patched[idx] = true
-	return true
+	return nil
 }
 
 // Correct filters a raw read: bit errors at patched positions are

@@ -1,6 +1,7 @@
 package ecp
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -24,30 +25,60 @@ func TestFailConsumesSpares(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if !l.Fail(i * 10) {
-			t.Fatalf("failure %d not absorbed with %d spares left", i, l.Spares())
+		if err := l.Fail(i * 10); err != nil {
+			t.Fatalf("failure %d not absorbed with %d spares left: %v", i, l.Spares(), err)
 		}
 	}
 	if l.Spares() != 0 {
 		t.Errorf("spares = %d, want 0", l.Spares())
 	}
-	if l.Fail(400) {
-		t.Error("7th failure absorbed with 6 spares")
+	if err := l.Fail(400); !errors.Is(err, ErrDead) {
+		t.Errorf("7th failure with 6 spares = %v, want ErrDead", err)
 	}
 	if !l.Dead {
 		t.Error("line must be dead after spare exhaustion")
 	}
 }
 
+// TestRepeatedFailureFree pins the already-patched semantics: re-failing
+// a patched cell is absorbed without consuming a spare (the replacement
+// cell is assumed healthy).
 func TestRepeatedFailureFree(t *testing.T) {
 	l, _ := NewLine(512, 6)
-	l.Fail(7)
+	if err := l.Fail(7); err != nil {
+		t.Fatal(err)
+	}
 	before := l.Spares()
-	if !l.Fail(7) {
-		t.Error("re-failing a patched cell must succeed")
+	if err := l.Fail(7); err != nil {
+		t.Errorf("re-failing a patched cell = %v, want nil", err)
 	}
 	if l.Spares() != before {
 		t.Error("re-failing a patched cell must not consume a spare")
+	}
+}
+
+// TestDeadLineStaysDead pins the dead-line semantics: once the spares
+// are exhausted every later failure reports ErrDead — including at an
+// index that was patched while the line was alive (the line as a whole
+// is lost; its patches no longer rescue anything).
+func TestDeadLineStaysDead(t *testing.T) {
+	l, _ := NewLine(512, 2)
+	if err := l.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fail(3); !errors.Is(err, ErrDead) {
+		t.Fatalf("exhausting failure = %v, want ErrDead", err)
+	}
+	for _, idx := range []int{1, 3, 100} {
+		if err := l.Fail(idx); !errors.Is(err, ErrDead) {
+			t.Errorf("Fail(%d) on dead line = %v, want ErrDead", idx, err)
+		}
+	}
+	if l.Spares() != 0 {
+		t.Errorf("dead line reports %d spares, want 0", l.Spares())
 	}
 }
 

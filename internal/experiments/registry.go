@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"ext-read", "Extension: read sense margin", (*Suite).ExtReadMargin},
 		{"ext-eq1", "Extension: Eq. 1 from filament kinetics", (*Suite).ExtEq1Kinetics},
 		{"ext-propt", "Extension: PR vs optimal partition choice", (*Suite).ExtPROptimality},
+		{"ext-fault", "Extension: fault injection and write-verify retries", (*Suite).ExtFault},
 	}
 }
 

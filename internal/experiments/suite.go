@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +24,7 @@ type Suite struct {
 	MemCfg memsys.Config
 
 	mu      sync.Mutex
+	ctx     context.Context // cancels between simulations; nil = Background
 	schemes map[string]*core.Scheme
 	sims    map[string]*memsys.Result
 
@@ -69,6 +71,25 @@ func newSuitePrecalibrated(cfg xpoint.Config, accessesPerCore int) *Suite {
 		metrics:  make(map[string]obs.Snapshot),
 		variants: make(map[string]*Suite),
 	}
+}
+
+// SetContext attaches a cancellation context: experiments check it
+// between simulations, so an interrupted sweep returns promptly with
+// the runs it completed instead of finishing the whole grid.
+func (s *Suite) SetContext(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx = ctx
+}
+
+// Context returns the attached context (Background when none is set).
+func (s *Suite) Context() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // schemeBuilders maps the §VI configuration names to constructors.
@@ -123,6 +144,9 @@ func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 	}
 	s.mu.Unlock()
 
+	if err := s.Context().Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
+	}
 	sc, err := s.Scheme(scheme)
 	if err != nil {
 		return nil, err
@@ -192,6 +216,7 @@ func (s *Suite) Variant(key string, mod func(*xpoint.Config)) (*Suite, error) {
 	}
 	v := newSuitePrecalibrated(cfg, s.MemCfg.AccessesPerCore)
 	s.mu.Lock()
+	v.ctx = s.ctx // sub-suite sweeps honour the same cancellation
 	s.variants[key] = v
 	s.mu.Unlock()
 	return v, nil

@@ -109,8 +109,8 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("fig99"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if len(All()) != 24 {
-		t.Errorf("experiment registry has %d entries, want 24", len(All()))
+	if len(All()) != 25 {
+		t.Errorf("experiment registry has %d entries, want 25", len(All()))
 	}
 }
 

@@ -1,0 +1,271 @@
+// Package fault injects write failures into the memory-system
+// simulation: margin-dependent transient RESET failures (the IR-drop
+// story of the paper — far cells with a depressed effective Vrst fail
+// first), permanent stuck-at faults drawn from the endurance model, and
+// charge-pump undershoot events. All draws come from per-bank seeded
+// generators so a run is byte-identical for a given seed.
+//
+// A nil *Injector is the disabled state: every method is a cheap,
+// allocation-free no-op, so the memory controller's hot path carries no
+// cost when the "none" profile is selected.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Profile names a fault-injection scenario.
+type Profile uint8
+
+const (
+	// ProfileNone disables injection entirely.
+	ProfileNone Profile = iota
+	// ProfileEndurance draws permanent stuck-at faults from the wear
+	// model: each completed line write may leave one cell stuck, with
+	// probability proportional to the RESETs it performed.
+	ProfileEndurance
+	// ProfileMargin fails write attempts with probability decaying
+	// exponentially in the delivered effective-Vrst margin, so far
+	// sections under IR drop retry most.
+	ProfileMargin
+	// ProfilePump models charge-pump undershoot: a settle occasionally
+	// returns a level below target, and only undershot attempts may fail.
+	ProfilePump
+	// ProfileMixed combines endurance, margin, and pump faults.
+	ProfileMixed
+)
+
+var profileNames = [...]string{
+	ProfileNone:      "none",
+	ProfileEndurance: "endurance",
+	ProfileMargin:    "margin",
+	ProfilePump:      "pump",
+	ProfileMixed:     "mixed",
+}
+
+// String returns the profile's canonical name.
+func (p Profile) String() string {
+	if int(p) < len(profileNames) {
+		return profileNames[p]
+	}
+	return fmt.Sprintf("fault.Profile(%d)", uint8(p))
+}
+
+// ParseProfile resolves a profile name. The empty string parses as
+// ProfileNone so an unset CLI flag or Config field means "disabled".
+func ParseProfile(s string) (Profile, error) {
+	if s == "" {
+		return ProfileNone, nil
+	}
+	for p, name := range profileNames {
+		if s == name {
+			return Profile(p), nil
+		}
+	}
+	return ProfileNone, fmt.Errorf("fault: unknown profile %q (want one of %v)", s, Profiles())
+}
+
+// Profiles lists the valid profile names.
+func Profiles() []string {
+	return append([]string(nil), profileNames[:]...)
+}
+
+// Config parameterises an Injector. The zero value of every rate field
+// selects the default; DefaultConfig fills them in.
+type Config struct {
+	Profile Profile
+	Seed    int64 // base seed; each bank derives its own stream
+	Banks   int   // number of independent per-bank generators
+
+	// MarginFailP0 is the transient failure probability of a write
+	// attempt whose effective-Vrst margin is zero (the cell sits exactly
+	// at the write threshold).
+	MarginFailP0 float64
+	// MarginScaleV is the e-folding of the failure probability per volt
+	// of margin: p = MarginFailP0 * exp(-margin/MarginScaleV).
+	MarginScaleV float64
+	// EnduranceMeanResets is the accelerated-aging mean RESET count to a
+	// stuck cell: a completed write that RESET n cells leaves one stuck
+	// with probability n/EnduranceMeanResets.
+	EnduranceMeanResets float64
+	// UndershootP is the per-attempt probability that the charge pump
+	// settles below target; UndershootMaxV bounds the (uniform) deficit.
+	UndershootP    float64
+	UndershootMaxV float64
+	// CellsPerLine sizes the stuck-cell index draw (512 for 64 B lines).
+	CellsPerLine int
+	// ExhaustStuckCells is how many cells a retry-exhausted write leaves
+	// permanently stuck: the weak-margin op's whole failing partition,
+	// not a single cell, sits below the write threshold.
+	ExhaustStuckCells int
+}
+
+// DefaultConfig returns the standard injection rates for a profile.
+func DefaultConfig(p Profile, seed int64, banks int) Config {
+	return Config{
+		Profile:             p,
+		Seed:                seed,
+		Banks:               banks,
+		MarginFailP0:        0.9,
+		MarginScaleV:        0.4,
+		EnduranceMeanResets: 2e5,
+		UndershootP:         0.02,
+		UndershootMaxV:      0.35,
+		CellsPerLine:        512,
+		ExhaustStuckCells:   3,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("fault: need at least one bank, got %d", c.Banks)
+	case c.MarginFailP0 < 0 || c.MarginFailP0 > 1:
+		return fmt.Errorf("fault: MarginFailP0 %g outside [0,1]", c.MarginFailP0)
+	case c.MarginScaleV <= 0:
+		return fmt.Errorf("fault: non-positive MarginScaleV %g", c.MarginScaleV)
+	case c.EnduranceMeanResets <= 0:
+		return fmt.Errorf("fault: non-positive EnduranceMeanResets %g", c.EnduranceMeanResets)
+	case c.UndershootP < 0 || c.UndershootP > 1:
+		return fmt.Errorf("fault: UndershootP %g outside [0,1]", c.UndershootP)
+	case c.UndershootMaxV < 0:
+		return fmt.Errorf("fault: negative UndershootMaxV %g", c.UndershootMaxV)
+	case c.CellsPerLine <= 0:
+		return fmt.Errorf("fault: non-positive CellsPerLine %d", c.CellsPerLine)
+	case c.ExhaustStuckCells <= 0 || c.ExhaustStuckCells > c.CellsPerLine:
+		return fmt.Errorf("fault: ExhaustStuckCells %d outside [1, %d]", c.ExhaustStuckCells, c.CellsPerLine)
+	}
+	return nil
+}
+
+// Injector draws fault events for the memory controller. Each bank owns
+// an independent generator, so the draw sequence depends only on the
+// per-bank order of writes — which the deterministic event loop fixes —
+// and results are byte-identical for a given seed.
+type Injector struct {
+	cfg  Config
+	rngs []*rand.Rand
+}
+
+// New builds an injector, or nil (the valid disabled injector) for
+// ProfileNone.
+func New(cfg Config) (*Injector, error) {
+	if cfg.Profile == ProfileNone {
+		return nil, nil
+	}
+	if int(cfg.Profile) >= len(profileNames) {
+		return nil, fmt.Errorf("fault: invalid profile %d", cfg.Profile)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{cfg: cfg, rngs: make([]*rand.Rand, cfg.Banks)}
+	for b := range in.rngs {
+		// Distinct, well-separated per-bank streams from one base seed.
+		in.rngs[b] = rand.New(rand.NewSource(cfg.Seed + int64(b)*1_000_003 + 17))
+	}
+	return in, nil
+}
+
+// Enabled reports whether the injector draws any faults.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// Profile returns the active profile (ProfileNone when disabled).
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return ProfileNone
+	}
+	return in.cfg.Profile
+}
+
+// Undershoot draws a charge-pump settle deficit for one write attempt on
+// the given bank: the pump reports ready while its output sits this many
+// volts below the requested level. Returns 0 for profiles without pump
+// events and for well-settled attempts.
+func (in *Injector) Undershoot(bank int) float64 {
+	if in == nil {
+		return 0
+	}
+	switch in.cfg.Profile {
+	case ProfilePump, ProfileMixed:
+	default:
+		return 0
+	}
+	rng := in.rngs[bank]
+	if rng.Float64() >= in.cfg.UndershootP {
+		return 0
+	}
+	return rng.Float64() * in.cfg.UndershootMaxV
+}
+
+// AttemptFails decides whether one write attempt fails verify. margin is
+// the delivered effective-Vrst margin above the write threshold, already
+// reduced by any pump undershoot; undershot reports whether an
+// undershoot affected the attempt (the pump profile only fails attempts
+// that undershot — well-settled writes always verify).
+func (in *Injector) AttemptFails(bank int, margin float64, undershot bool) bool {
+	if in == nil {
+		return false
+	}
+	switch in.cfg.Profile {
+	case ProfileMargin, ProfileMixed:
+	case ProfilePump:
+		if !undershot {
+			return false
+		}
+	default:
+		return false
+	}
+	return in.rngs[bank].Float64() < in.pFail(margin)
+}
+
+// pFail is the transient failure probability at the given margin. An
+// infinite margin (a SET-only write performs no RESET) never fails.
+func (in *Injector) pFail(margin float64) float64 {
+	if math.IsInf(margin, 1) {
+		return 0
+	}
+	if margin <= 0 {
+		return in.cfg.MarginFailP0
+	}
+	return in.cfg.MarginFailP0 * math.Exp(-margin/in.cfg.MarginScaleV)
+}
+
+// StuckAfterWrite draws an endurance fault for a completed line write
+// that RESET the given number of cells: with probability
+// resets/EnduranceMeanResets one cell wears out permanently. The second
+// result reports whether a cell got stuck.
+func (in *Injector) StuckAfterWrite(bank, resets int) (cell int, stuck bool) {
+	if in == nil || resets <= 0 {
+		return 0, false
+	}
+	switch in.cfg.Profile {
+	case ProfileEndurance, ProfileMixed:
+	default:
+		return 0, false
+	}
+	rng := in.rngs[bank]
+	if rng.Float64() >= float64(resets)/in.cfg.EnduranceMeanResets {
+		return 0, false
+	}
+	return rng.Intn(in.cfg.CellsPerLine), true
+}
+
+// ExhaustStuck draws the cells a retry-exhausted write leaves
+// permanently stuck: the failing op's weakest ExhaustStuckCells cells
+// (drawn uniformly since the cost model tracks only the worst margin,
+// not which cells held it). Returns nil when disabled.
+func (in *Injector) ExhaustStuck(bank int) []int {
+	if in == nil {
+		return nil
+	}
+	rng := in.rngs[bank]
+	cells := make([]int, in.cfg.ExhaustStuckCells)
+	for i := range cells {
+		cells[i] = rng.Intn(in.cfg.CellsPerLine)
+	}
+	return cells
+}

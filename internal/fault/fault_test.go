@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	for _, name := range Profiles() {
+		p, err := ParseProfile(name)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParseProfile(%q).String() = %q", name, p.String())
+		}
+	}
+	if p, err := ParseProfile(""); err != nil || p != ProfileNone {
+		t.Errorf("empty profile = (%v, %v), want (none, nil)", p, err)
+	}
+	if _, err := ParseProfile("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestNoneProfileIsNil(t *testing.T) {
+	in, err := New(DefaultConfig(ProfileNone, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatal("none profile must build a nil injector")
+	}
+	// The nil injector must be fully usable.
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	if in.Profile() != ProfileNone {
+		t.Error("nil injector profile != none")
+	}
+	if in.Undershoot(3) != 0 {
+		t.Error("nil injector undershoots")
+	}
+	if in.AttemptFails(0, -1, true) {
+		t.Error("nil injector fails attempts")
+	}
+	if _, stuck := in.StuckAfterWrite(0, 1000); stuck {
+		t.Error("nil injector injects stuck cells")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(ProfileMargin, 1, 4)
+	bad := []func(*Config){
+		func(c *Config) { c.Banks = 0 },
+		func(c *Config) { c.MarginFailP0 = 1.5 },
+		func(c *Config) { c.MarginScaleV = 0 },
+		func(c *Config) { c.EnduranceMeanResets = -1 },
+		func(c *Config) { c.UndershootP = 2 },
+		func(c *Config) { c.UndershootMaxV = -0.1 },
+		func(c *Config) { c.CellsPerLine = 0 },
+	}
+	for i, mod := range bad {
+		c := base
+		mod(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("invalid config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	draw := func() []bool {
+		in, err := New(DefaultConfig(ProfileMargin, 42, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 0, 400)
+		for i := 0; i < 100; i++ {
+			for b := 0; b < 4; b++ {
+				out = append(out, in.AttemptFails(b, 0.1, false))
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across same-seed injectors", i)
+		}
+	}
+}
+
+// TestMarginMonotonicity: the empirical failure rate must fall as the
+// delivered margin grows — the IR-drop thesis the profile encodes.
+func TestMarginMonotonicity(t *testing.T) {
+	rate := func(margin float64) float64 {
+		in, err := New(DefaultConfig(ProfileMargin, 7, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fails := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if in.AttemptFails(0, margin, false) {
+				fails++
+			}
+		}
+		return float64(fails) / n
+	}
+	low, mid, high := rate(0.05), rate(0.4), rate(1.0)
+	if !(low > mid && mid > high) {
+		t.Errorf("failure rate not decreasing in margin: %.3f, %.3f, %.3f", low, mid, high)
+	}
+	if deep := rate(2.0); deep > 0.02 {
+		t.Errorf("2 V margin should rarely fail, got rate %.3f", deep)
+	}
+}
+
+// TestPumpProfileNeedsUndershoot: under the pump profile a well-settled
+// attempt never fails, while undershot attempts at low margin do.
+func TestPumpProfileNeedsUndershoot(t *testing.T) {
+	in, err := New(DefaultConfig(ProfilePump, 11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if in.AttemptFails(0, 0, false) {
+			t.Fatal("pump profile failed a well-settled attempt")
+		}
+	}
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if in.AttemptFails(0, 0, true) {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("pump profile never failed undershot zero-margin attempts")
+	}
+}
+
+func TestInfiniteMarginNeverFails(t *testing.T) {
+	in, err := New(DefaultConfig(ProfileMargin, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if in.AttemptFails(0, math.Inf(1), false) {
+			t.Fatal("SET-only write (infinite margin) failed verify")
+		}
+	}
+}
+
+func TestEnduranceStuckRate(t *testing.T) {
+	in, err := New(DefaultConfig(ProfileEndurance, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := 0
+	const n, resets = 20000, 40
+	for i := 0; i < n; i++ {
+		if cell, ok := in.StuckAfterWrite(0, resets); ok {
+			stuck++
+			if cell < 0 || cell >= 512 {
+				t.Fatalf("stuck cell %d outside the line", cell)
+			}
+		}
+	}
+	want := float64(n) * resets / 2e5
+	if got := float64(stuck); got < want/2 || got > want*2 {
+		t.Errorf("stuck draws = %d, want ~%.0f", stuck, want)
+	}
+	// A write with no RESETs cannot wear a cell out.
+	if _, ok := in.StuckAfterWrite(0, 0); ok {
+		t.Error("zero-RESET write wore out a cell")
+	}
+}

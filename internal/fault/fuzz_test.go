@@ -1,0 +1,29 @@
+package fault
+
+import "testing"
+
+// FuzzParseProfile guards the profile-name parser: it must never panic,
+// errors must leave the profile at ProfileNone, and accepted names must
+// round-trip through String.
+func FuzzParseProfile(f *testing.F) {
+	for _, name := range Profiles() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("MARGIN")
+	f.Add("none ")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProfile(s)
+		if err != nil {
+			if p != ProfileNone {
+				t.Fatalf("ParseProfile(%q) errored but returned profile %v", s, p)
+			}
+			return
+		}
+		q, err := ParseProfile(p.String())
+		if err != nil || q != p {
+			t.Fatalf("round trip of %q: got (%v, %v), want (%v, nil)", s, q, err, p)
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"reramsim/internal/fault"
+)
 
 // Config parameterises the system simulation (defaults are Table III).
 type Config struct {
@@ -34,6 +38,24 @@ type Config struct {
 	// RPKI/WPKI are post-cache, so the headline experiments leave this
 	// off; the mode exercises the cache substrate end to end.
 	UseCaches bool
+
+	// FaultProfile selects the internal/fault injection scenario ("" or
+	// "none" disables injection and the write-verify stage entirely,
+	// leaving the write path byte-identical to the fault-free simulator).
+	FaultProfile string
+	// FaultSeed seeds the per-bank fault generators; zero reuses Seed.
+	FaultSeed int64
+	// MaxWriteRetries bounds the write-verify retry loop: a failed line
+	// write is retried at escalated Vrst up to this many times before
+	// the weakest cell is declared permanently stuck.
+	MaxWriteRetries int
+	// ECPSpares is the per-line ECP entry budget absorbing stuck cells
+	// (Table: 6 entries per 64 B line).
+	ECPSpares int
+	// SpareLines caps the retirement pool: lines whose ECP spares
+	// exhaust are remapped there; past the cap, failures become
+	// uncorrectable errors.
+	SpareLines int
 }
 
 // DefaultConfig returns the Table III system.
@@ -53,6 +75,9 @@ func DefaultConfig() Config {
 		MCOverhead:      20e-9, // 64 controller cycles
 		AccessesPerCore: 20000,
 		Seed:            1,
+		MaxWriteRetries: 3,
+		ECPSpares:       6,
+		SpareLines:      256,
 	}
 }
 
@@ -69,8 +94,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memsys: invalid timing")
 	case c.AccessesPerCore <= 0:
 		return fmt.Errorf("memsys: no work to simulate")
+	case c.MaxWriteRetries < 0:
+		return fmt.Errorf("memsys: negative MaxWriteRetries")
+	case c.ECPSpares < 0 || c.SpareLines < 0:
+		return fmt.Errorf("memsys: negative reliability budget")
+	}
+	if _, err := fault.ParseProfile(c.FaultProfile); err != nil {
+		return fmt.Errorf("memsys: %w", err)
 	}
 	return nil
+}
+
+// faultProfile resolves the validated profile.
+func (c Config) faultProfile() fault.Profile {
+	p, err := fault.ParseProfile(c.FaultProfile)
+	if err != nil {
+		return fault.ProfileNone
+	}
+	return p
 }
 
 // Banks returns the total bank count.

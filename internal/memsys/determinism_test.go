@@ -47,6 +47,122 @@ func TestSimulateDeterministic(t *testing.T) {
 	}
 }
 
+// TestSimulateDeterministicFaults repeats the reproducibility check with
+// fault injection active: the per-bank fault draws, the write-verify
+// retry loop, and the ECP/retirement bookkeeping must all replay
+// byte-identically (including the Reliability block) for a given seed.
+func TestSimulateDeterministicFaults(t *testing.T) {
+	s := schemes()["base"]
+	bench, err := trace.ByName("mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.AccessesPerCore = 800
+	cfg.Seed = 42
+	cfg.FaultProfile = "mixed"
+
+	run := func() []byte {
+		res, err := Simulate(s, bench, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reliability == nil {
+			t.Fatal("fault profile active but Reliability block missing")
+		}
+		if res.Reliability.VerifyFailures == 0 {
+			t.Fatal("mixed profile on the baseline produced no verify failures; injection inactive?")
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed fault runs differ:\nrun1: %s\nrun2: %s", a, b)
+	}
+
+	cfg.FaultSeed = 99
+	if c := run(); bytes.Equal(a, c) {
+		t.Fatal("different fault seeds produced identical results; FaultSeed unused?")
+	}
+}
+
+// TestFaultNoneIdenticalToPlain pins the zero-overhead contract: with the
+// "none" profile (spelled out or left empty) the simulator must produce
+// Result JSON byte-identical to a config that never mentions faults, and
+// no Reliability block.
+func TestFaultNoneIdenticalToPlain(t *testing.T) {
+	s := schemes()["udrvrpr"]
+	bench, err := trace.ByName("mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(profile string) []byte {
+		cfg := DefaultConfig()
+		cfg.AccessesPerCore = 600
+		cfg.Seed = 7
+		cfg.FaultProfile = profile
+		res, err := Simulate(s, bench, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reliability != nil {
+			t.Fatalf("profile %q must not attach a Reliability block", profile)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain, spelled := run(""), run("none")
+	if !bytes.Equal(plain, spelled) {
+		t.Fatalf("empty and \"none\" profiles differ:\n%s\n%s", plain, spelled)
+	}
+}
+
+// TestMarginProfileRewardsRegulation is the headline acceptance check:
+// under the margin fault profile at a fixed seed, the voltage-regulated
+// UDRVR+PR scheme must need strictly fewer write retries AND retire
+// strictly fewer lines than the baseline, because its delivered margins
+// are equalized where the baseline's far sections sit near threshold.
+func TestMarginProfileRewardsRegulation(t *testing.T) {
+	bench, err := trace.ByName("mcf_m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.AccessesPerCore = 5000
+	cfg.Seed = 1
+	cfg.FaultProfile = "margin"
+
+	run := func(scheme string) *Reliability {
+		res, err := Simulate(schemes()[scheme], bench, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reliability == nil {
+			t.Fatalf("%s: no Reliability block", scheme)
+		}
+		return res.Reliability
+	}
+	base, udrvr := run("base"), run("udrvrpr")
+	if udrvr.WriteRetries >= base.WriteRetries {
+		t.Errorf("UDRVR+PR retries %d not strictly below baseline %d",
+			udrvr.WriteRetries, base.WriteRetries)
+	}
+	if base.RetiredLines == 0 {
+		t.Error("baseline retired no lines; the degradation ladder never engaged")
+	}
+	if udrvr.RetiredLines >= base.RetiredLines {
+		t.Errorf("UDRVR+PR retired %d lines, not strictly below baseline %d",
+			udrvr.RetiredLines, base.RetiredLines)
+	}
+}
+
 // TestSimulateDeterministicCached repeats the check with the cache
 // hierarchy enabled, covering the cached dispatch path too.
 func TestSimulateDeterministicCached(t *testing.T) {

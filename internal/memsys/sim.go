@@ -9,7 +9,9 @@ import (
 	"reramsim/internal/chargepump"
 	"reramsim/internal/core"
 	"reramsim/internal/cpu"
+	"reramsim/internal/ecp"
 	"reramsim/internal/energy"
+	"reramsim/internal/fault"
 	"reramsim/internal/obs"
 	"reramsim/internal/trace"
 	"reramsim/internal/wear"
@@ -33,6 +35,11 @@ type Result struct {
 	WriteFailures  uint64
 
 	Energy EnergyBreakdown
+
+	// Reliability reports the write-verify/fault-injection outcome; nil
+	// when the run used the "none" fault profile (keeping fault-free
+	// Result JSON identical to the plain simulator's).
+	Reliability *Reliability `json:",omitempty"`
 }
 
 // EnergyBreakdown splits the main-memory energy (J).
@@ -93,6 +100,14 @@ type writeReq struct {
 	rank    int
 	arrival float64
 	cost    core.LineCost
+
+	// Retry context, populated only under fault injection: re-pricing an
+	// escalated attempt needs the original op, and degradation needs the
+	// physical line.
+	row    int
+	offset int
+	phys   uint64
+	lw     write.LineWrite
 }
 
 type coreState struct {
@@ -138,6 +153,11 @@ type sim struct {
 	shifter    wear.RowShifter
 	lineWrites map[uint64]uint64
 
+	// Fault-injection state; all nil with the "none" profile.
+	inj      *fault.Injector
+	ecpLines map[uint64]*ecp.Line
+	retire   *wear.RetirementMap
+
 	res        Result
 	readLatSum float64
 	wrWaitSum  float64
@@ -168,6 +188,9 @@ func Simulate(s *core.Scheme, bench trace.Benchmark, cfg Config) (*Result, error
 	}
 	sm.res.Workload = bench.Name
 	sm.res.Scheme = s.Name()
+	if err := sm.initFaults(); err != nil {
+		return nil, err
+	}
 
 	if s.WearLevelingCompatible() {
 		sm.leveler, err = wear.NewSecurityRefresh(1<<30, 64, cfg.Seed)
@@ -226,14 +249,26 @@ func (s *sim) scheduleNextAccess(i int, from float64) {
 }
 
 // mapLine translates a logical line into (bank, rank, row, offset),
-// applying wear leveling.
-func (s *sim) mapLine(line uint64, isWrite bool) (bank, rank, row, offset int) {
-	phys := line
+// applying wear leveling and line retirement; phys is the resolved
+// physical line identity the per-line state is keyed on.
+func (s *sim) mapLine(line uint64, isWrite bool) (bank, rank, row, offset int, phys uint64) {
+	phys = line
 	if s.leveler != nil {
 		if isWrite {
 			phys = s.leveler.OnWrite(line)
 		} else {
 			phys = s.leveler.Map(line)
+		}
+	}
+	if s.retire != nil {
+		// Chase the retirement chain: a retired line redirects to its
+		// spare, which may itself have retired later.
+		for {
+			sp, ok := s.retire.Lookup(phys)
+			if !ok {
+				break
+			}
+			phys = sp
 		}
 	}
 	nb := uint64(s.cfg.Banks())
@@ -252,7 +287,7 @@ func (s *sim) mapLine(line uint64, isWrite bool) (bank, rank, row, offset int) {
 	} else {
 		offset = s.shifter.Offset(base, s.lineWrites[phys])
 	}
-	return bank, rank, row, offset
+	return bank, rank, row, offset, phys
 }
 
 func (s *sim) run() error {
@@ -347,7 +382,7 @@ func (s *sim) dispatchCached(now float64, i int, a trace.Access) error {
 // submitRead enqueues a read, reporting whether it entered the queue
 // (false: the controller queue is full and the request parks at the core).
 func (s *sim) submitRead(now float64, i int, line uint64) bool {
-	bank, _, _, _ := s.mapLine(line, false)
+	bank, _, _, _, _ := s.mapLine(line, false)
 	req := readReq{core: i, bank: bank, arrival: now}
 	if len(s.readQ) >= s.cfg.ReadQueue {
 		s.cores[i].waitRead = &req
@@ -364,12 +399,15 @@ func (s *sim) submitWrite(now float64, i int, a trace.Access) error {
 	if err != nil {
 		return err
 	}
-	bank, rank, row, offset := s.mapLine(a.Line, true)
+	bank, rank, row, offset, phys := s.mapLine(a.Line, true)
 	cost, err := s.scheme.CostWrite(row, offset, lw)
 	if err != nil {
 		return err
 	}
 	req := writeReq{bank: bank, rank: rank, arrival: now, cost: cost}
+	if s.inj != nil {
+		req.row, req.offset, req.phys, req.lw = row, offset, phys, lw
+	}
 	if len(s.writeQ) >= s.cfg.WriteQueue {
 		s.cores[i].waitWrite = &req
 		return nil
@@ -391,7 +429,11 @@ func (s *sim) tryIssue(now float64) error {
 	for {
 		progress := false
 		if s.burst || len(s.readQ) == 0 || s.cfg.EagerWrites {
-			progress = s.issueWrites(now) || progress
+			wrote, err := s.issueWrites(now)
+			if err != nil {
+				return err
+			}
+			progress = wrote || progress
 		}
 		if !s.burst {
 			progress = s.issueReads(now) || progress
@@ -440,7 +482,7 @@ func (s *sim) issueReads(now float64) bool {
 	return issued
 }
 
-func (s *sim) issueWrites(now float64) bool {
+func (s *sim) issueWrites(now float64) (bool, error) {
 	issued := false
 	for qi := 0; qi < len(s.writeQ); {
 		req := s.writeQ[qi]
@@ -449,6 +491,15 @@ func (s *sim) issueWrites(now float64) bool {
 			continue
 		}
 		busy := req.cost.Latency()
+		energyJ := req.cost.Energy
+		cells := req.cost.CellsWritten() + req.cost.DummyResets
+		if s.inj != nil {
+			var err error
+			busy, energyJ, cells, err = s.writeWithVerify(&req)
+			if err != nil {
+				return false, err
+			}
+		}
 		done := now + busy
 		s.bankFreeAt[req.bank] = done
 		s.pumpFreeAt[req.rank] = done
@@ -456,8 +507,8 @@ func (s *sim) issueWrites(now float64) bool {
 
 		s.res.Writes++
 		s.wrWaitSum += done - req.arrival
-		s.res.Energy.Write += req.cost.Energy
-		s.res.CellsWritten += uint64(req.cost.CellsWritten() + req.cost.DummyResets)
+		s.res.Energy.Write += energyJ
+		s.res.CellsWritten += uint64(cells)
 		if req.cost.Failed {
 			s.res.WriteFailures++
 		}
@@ -474,7 +525,7 @@ func (s *sim) issueWrites(now float64) bool {
 		s.writeQ = append(s.writeQ[:qi], s.writeQ[qi+1:]...)
 		issued = true
 	}
-	return issued
+	return issued, nil
 }
 
 // admitWaiters moves stalled cores' requests into queues with free space.

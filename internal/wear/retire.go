@@ -1,0 +1,64 @@
+package wear
+
+import "fmt"
+
+// RetirementMap remaps lines whose ECP spares are exhausted onto a
+// reserved spare region, the wear-leveling layer's last line of defence
+// before capacity loss becomes data loss. Retired lines redirect through
+// Lookup; when the spare pool itself runs dry, further failures are
+// uncorrectable and the caller must account them as such.
+type RetirementMap struct {
+	spareBase uint64 // first line id of the reserved region
+	capacity  int    // spare lines available
+	next      int    // spares handed out
+	m         map[uint64]uint64
+}
+
+// NewRetirementMap reserves capacity spare lines starting at spareBase.
+// spareBase must sit above every addressable line so spare ids never
+// collide with demand traffic.
+func NewRetirementMap(spareBase uint64, capacity int) (*RetirementMap, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("wear: non-positive retirement capacity %d", capacity)
+	}
+	if spareBase < uint64(capacity) {
+		return nil, fmt.Errorf("wear: spare base %d overlaps the demand line space", spareBase)
+	}
+	return &RetirementMap{spareBase: spareBase, capacity: capacity, m: make(map[uint64]uint64)}, nil
+}
+
+// Lookup returns the spare a retired line redirects to, if any. A spare
+// line can itself retire later, so callers chase the chain until Lookup
+// misses (chains are short: each hop consumes a fresh spare).
+func (r *RetirementMap) Lookup(phys uint64) (uint64, bool) {
+	sp, ok := r.m[phys]
+	return sp, ok
+}
+
+// Retire maps a dead line onto a fresh spare, reporting false when the
+// spare pool is exhausted. Retiring an already retired line returns its
+// existing spare without consuming another.
+func (r *RetirementMap) Retire(phys uint64) (uint64, bool) {
+	if sp, ok := r.m[phys]; ok {
+		return sp, true
+	}
+	if r.next >= r.capacity {
+		return 0, false
+	}
+	sp := r.spareBase + uint64(r.next)
+	r.next++
+	r.m[phys] = sp
+	return sp, true
+}
+
+// Retired returns how many lines have been retired.
+func (r *RetirementMap) Retired() int { return r.next }
+
+// CapacityLoss returns the fraction of the demand capacity lost to
+// retirement, given the total demand line count.
+func (r *RetirementMap) CapacityLoss(totalLines uint64) float64 {
+	if totalLines == 0 {
+		return 0
+	}
+	return float64(r.next) / float64(totalLines)
+}

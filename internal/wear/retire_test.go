@@ -1,0 +1,49 @@
+package wear
+
+import "testing"
+
+func TestRetirementMap(t *testing.T) {
+	r, err := NewRetirementMap(1<<40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup(5); ok {
+		t.Error("fresh map resolves unretired line")
+	}
+	sp1, ok := r.Retire(5)
+	if !ok || sp1 != 1<<40 {
+		t.Fatalf("first retirement = (%d, %v), want (%d, true)", sp1, ok, uint64(1)<<40)
+	}
+	// Idempotent: re-retiring returns the same spare, consumes nothing.
+	again, ok := r.Retire(5)
+	if !ok || again != sp1 || r.Retired() != 1 {
+		t.Errorf("re-retirement = (%d, %v, retired %d), want (%d, true, 1)", again, ok, r.Retired(), sp1)
+	}
+	if got, ok := r.Lookup(5); !ok || got != sp1 {
+		t.Errorf("Lookup(5) = (%d, %v)", got, ok)
+	}
+	// A spare can itself die and retire: the chain extends.
+	sp2, ok := r.Retire(sp1)
+	if !ok || sp2 != sp1+1 {
+		t.Fatalf("spare retirement = (%d, %v)", sp2, ok)
+	}
+	// Pool exhausted.
+	if _, ok := r.Retire(9); ok {
+		t.Error("retirement past capacity succeeded")
+	}
+	if r.Retired() != 2 {
+		t.Errorf("Retired() = %d, want 2", r.Retired())
+	}
+	if loss := r.CapacityLoss(1000); loss != 0.002 {
+		t.Errorf("CapacityLoss = %g, want 0.002", loss)
+	}
+}
+
+func TestRetirementMapValidation(t *testing.T) {
+	if _, err := NewRetirementMap(1<<40, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewRetirementMap(4, 8); err == nil {
+		t.Error("spare base inside demand space accepted")
+	}
+}

@@ -53,6 +53,19 @@ type ResetResult struct {
 	Failed  bool      // any cell below the write-failure threshold
 }
 
+// MinVeff returns the smallest effective RESET voltage across the op's
+// selected cells, or +Inf when none were selected. The write-verify
+// margin is measured from this delivered worst case.
+func (r *ResetResult) MinVeff() float64 {
+	m := math.Inf(1)
+	for _, v := range r.Veff {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
 // solver iteration limits. The outer loop updates the piece ground
 // potentials (trunk coupling); the inner loop alternates the coupled
 // bit-line/word-line ladders of one piece.
