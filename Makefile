@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault vuln bench
+.PHONY: ci fmt vet build test race race-fault race-par vuln bench
 
-ci: fmt vet build test race-fault vuln
+ci: fmt vet build test race-fault race-par vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,6 +26,12 @@ race:
 # to keep the gate minutes-scale (make race covers everything).
 race-fault:
 	$(GO) test -race ./internal/fault/ ./internal/memsys/ ./internal/ecp/ ./internal/wear/
+
+# The parallel-execution layer under the race detector: the worker pool,
+# the singleflighted Suite caches and the sharded scheme memo are where
+# fan-out contention lives (make race covers everything).
+race-par:
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/core/
 
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:

@@ -15,6 +15,7 @@ import (
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
 	"reramsim/internal/obs"
+	"reramsim/internal/par"
 	"reramsim/internal/trace"
 	"reramsim/internal/write"
 )
@@ -83,6 +84,37 @@ func BenchmarkExtReadMargin(b *testing.B)   { benchExperiment(b, "ext-read") }
 func BenchmarkExtEq1Kinetics(b *testing.B)  { benchExperiment(b, "ext-eq1") }
 func BenchmarkExtPROptimality(b *testing.B) { benchExperiment(b, "ext-propt") }
 func BenchmarkExtFault(b *testing.B)        { benchExperiment(b, "ext-fault") }
+
+// BenchmarkSweepParallel tracks the parallel engine's speedup: the same
+// scheme x workload sweep on a fresh suite, serial (-jobs=1) vs the full
+// worker pool. Fresh suites per iteration keep the cache from serving
+// the second variant; the serial/parallel ratio is the figure of merit
+// (≥2x expected on a 4-core runner).
+func BenchmarkSweepParallel(b *testing.B) {
+	schemes := []string{"Base", "Hard+Sys", "UDRVR+PR"}
+	workloads := []string{"ast_m", "mcf_m", "mil_m", "zeu_m"}
+	var pairs []experiments.SimPair
+	for _, sc := range schemes {
+		for _, w := range workloads {
+			pairs = append(pairs, experiments.SimPair{Scheme: sc, Workload: w})
+		}
+	}
+	run := func(b *testing.B, jobs int) {
+		par.SetJobs(jobs)
+		defer par.SetJobs(0)
+		for i := 0; i < b.N; i++ {
+			s, err := experiments.NewSuite(benchAccesses)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.PrimeSims(pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", par.Jobs()), func(b *testing.B) { run(b, 0) })
+}
 
 // --- Micro benchmarks -------------------------------------------------
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"reramsim/internal/experiments"
+	"reramsim/internal/par"
 )
 
 func main() {
@@ -26,9 +27,11 @@ func main() {
 		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
 		accesses = flag.Int("accesses", 5000, "memory accesses simulated per core")
 		skipMaps = flag.Bool("skip-maps", false, "skip the surface-map experiments (fig4, fig6, fig11, fig13)")
+		jobs     = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+	par.SetJobs(*jobs)
 
 	if *list {
 		for _, e := range experiments.All() {

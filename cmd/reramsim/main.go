@@ -28,6 +28,7 @@ import (
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
 	"reramsim/internal/obs"
+	"reramsim/internal/par"
 	"reramsim/internal/wear"
 )
 
@@ -45,6 +46,8 @@ func main() {
 		faultProfile = flag.String("fault-profile", "none", "fault-injection profile: "+strings.Join(fault.Profiles(), ", "))
 		faultSeed    = flag.Int64("fault-seed", 0, "fault generator seed (0 reuses -seed)")
 		maxRetries   = flag.Int("max-write-retries", 3, "write-verify retries before a cell is declared stuck")
+
+		jobs = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
 
 		metrics    = flag.Bool("metrics", false, "dump the metric registry after the run")
 		metricsFmt = flag.String("metrics-format", "text", "metrics dump format: text (Prometheus-style) or json")
@@ -68,6 +71,7 @@ func main() {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
 	}
 
+	par.SetJobs(*jobs)
 	if *metrics || *traceOut != "" || *pprofAddr != "" {
 		obs.SetEnabled(true)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"reramsim/internal/par"
 	"reramsim/internal/xpoint"
 )
 
@@ -134,6 +136,11 @@ func CalibrateDRVRSections(arr *xpoint.Array, sections int, maxV float64) (*Leve
 	ref := refRes.Veff[0]
 
 	t := FlatLevels(sections, cfg.DataWidth, vn)
+	// Deliberately serial: section s seeds its secant solve from section
+	// s-1's computed level (the warm start makes the iteration converge in
+	// two or three steps). Fanning sections out would need a different
+	// start and change the iterates bit-for-bit, breaking the parallel ==
+	// serial output guarantee, so DRVR calibration stays sequential.
 	for s := 1; s < sections; s++ {
 		level, err := solveLevel(arr, sectionMidRow(s, sections, cfg.Size), 0, ref, t.V[s-1][0], vn, maxV)
 		if err != nil {
@@ -186,14 +193,17 @@ func CalibrateUDRVR(arr *xpoint.Array, drvr *LevelTable, minV, maxV float64, prC
 		copy(t.V[s], drvr.V[s])
 	}
 
-	for s := 0; s < t.Sections; s++ {
+	// Sections are independent: section s reads and writes only its own
+	// row t.V[s] (seeded from drvr above), so the operating points solve
+	// concurrently without changing any iterate.
+	err := par.ForEach(context.Background(), t.Sections, func(s int) error {
 		row := sectionMidRow(s, t.Sections, cfg.Size)
 
 		// The array latency determinant: the far mux inside its own
 		// operation context at the DRVR level.
 		target, err := effInContext(arr, t, s, row, muxes-1, prContext)
 		if err != nil {
-			return nil, fmt.Errorf("core: UDRVR section %d reference: %w", s, err)
+			return fmt.Errorf("core: UDRVR section %d reference: %w", s, err)
 		}
 
 		// The contexts couple the muxes (level changes shift the shared
@@ -202,7 +212,7 @@ func CalibrateUDRVR(arr *xpoint.Array, drvr *LevelTable, minV, maxV float64, prC
 			for m := muxes - 2; m >= 0; m-- {
 				eff, err := effInContext(arr, t, s, row, m, prContext)
 				if err != nil {
-					return nil, fmt.Errorf("core: UDRVR section %d mux %d: %w", s, m, err)
+					return fmt.Errorf("core: UDRVR section %d mux %d: %w", s, m, err)
 				}
 				level := t.V[s][m] + (target - eff)
 				if level < minV {
@@ -214,6 +224,10 @@ func CalibrateUDRVR(arr *xpoint.Array, drvr *LevelTable, minV, maxV float64, prC
 				t.V[s][m] = level
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -253,7 +267,10 @@ func CalibrateTargetEff(arr *xpoint.Array, targetEff, minV, maxV float64) (*Leve
 	muxes := cfg.DataWidth
 	muxW := cfg.MuxWidth()
 	t := FlatLevels(Sections, muxes, cfg.Params.Vrst)
-	for s := 0; s < Sections; s++ {
+	// Sections are independent (the warm-start chain runs within a
+	// section's own mux loop, never across sections), so they solve
+	// concurrently with iterates identical to the serial loop.
+	err := par.ForEach(context.Background(), Sections, func(s int) error {
 		row := sectionMidRow(s, Sections, cfg.Size)
 		for m := muxes - 1; m >= 0; m-- {
 			start := cfg.Params.Vrst
@@ -262,10 +279,14 @@ func CalibrateTargetEff(arr *xpoint.Array, targetEff, minV, maxV float64) (*Leve
 			}
 			level, err := solveLevel(arr, row, m*muxW+muxW/2, targetEff, start, minV, maxV)
 			if err != nil {
-				return nil, fmt.Errorf("core: target calibration section %d mux %d: %w", s, m, err)
+				return fmt.Errorf("core: target calibration section %d mux %d: %w", s, m, err)
 			}
 			t.V[s][m] = level
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

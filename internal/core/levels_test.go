@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"reramsim/internal/par"
+	"reramsim/internal/xpoint"
+)
+
+// TestCalibrationDeterministicAcrossJobs: the section fan-out in
+// CalibrateUDRVR and CalibrateTargetEff must produce bit-identical level
+// tables at every worker count — sections read and write only their own
+// table row, so the secant iterates cannot depend on scheduling.
+func TestCalibrationDeterministicAcrossJobs(t *testing.T) {
+	cfg := testConfig()
+	arr, err := xpoint.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calibrate := func(jobs int) (*LevelTable, *LevelTable) {
+		par.SetJobs(jobs)
+		drvr, err := CalibrateDRVR(arr, MaxLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ud, err := CalibrateUDRVR(arr, drvr, cfg.Params.VwriteMin+0.3, MaxLevel, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := CalibrateTargetEff(arr, 3.0, cfg.Params.VwriteMin+0.3, EscalationCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ud, te
+	}
+	defer par.SetJobs(0)
+
+	refUD, refTE := calibrate(1)
+	for _, jobs := range []int{2, 8} {
+		ud, te := calibrate(jobs)
+		for s := 0; s < refUD.Sections; s++ {
+			for m := 0; m < refUD.Muxes; m++ {
+				if ud.V[s][m] != refUD.V[s][m] {
+					t.Fatalf("jobs=%d: UDRVR level [%d][%d] = %v, serial %v",
+						jobs, s, m, ud.V[s][m], refUD.V[s][m])
+				}
+				if te.V[s][m] != refTE.V[s][m] {
+					t.Fatalf("jobs=%d: target-eff level [%d][%d] = %v, serial %v",
+						jobs, s, m, te.V[s][m], refTE.V[s][m])
+				}
+			}
+		}
+	}
+}

@@ -62,8 +62,29 @@ type Scheme struct {
 
 	levels *LevelTable
 
-	mu   sync.Mutex
-	memo map[opKey]opCost
+	// The RESET cost memo is the hot shared structure when simulations
+	// fan out: every write prices its ops here. Sharding the table by key
+	// hash keeps concurrent lookups of different ops off one another's
+	// lock. Duplicate concurrent solves of the same key are possible but
+	// harmless — solveOp is deterministic, so both writers store the same
+	// value.
+	memo [memoShards]memoShard
+}
+
+// memoShards is the number of independent memo partitions (power of two).
+const memoShards = 16
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[opKey]opCost
+}
+
+// shardOf maps an op key to its memo partition.
+func shardOf(k opKey) int {
+	h := uint(k.section)*31 + uint(k.offB)
+	h = h*31 + uint(k.mask)
+	h = h*31 + uint(k.esc)
+	return int(h % memoShards)
 }
 
 type opKey struct {
@@ -158,14 +179,17 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 		pump = pump.Doubled()
 	}
 
-	return &Scheme{
+	s := &Scheme{
 		name:   name,
 		opt:    opt,
 		arr:    arr,
 		pump:   pump,
 		levels: levels,
-		memo:   make(map[opKey]opCost),
-	}, nil
+	}
+	for i := range s.memo {
+		s.memo[i].m = make(map[opKey]opCost)
+	}
+	return s, nil
 }
 
 // MustNewScheme is NewScheme for statically known-good options.
@@ -356,9 +380,10 @@ func (s *Scheme) opCost(k opKey) (opCost, error) {
 	if !s.opt.ExactMasks {
 		k.mask = canonicalMask(k.mask)
 	}
-	s.mu.Lock()
-	c, ok := s.memo[k]
-	s.mu.Unlock()
+	sh := &s.memo[shardOf(k)]
+	sh.mu.Lock()
+	c, ok := sh.m[k]
+	sh.mu.Unlock()
 	if ok {
 		obsMemoHits.Inc()
 		return c, nil
@@ -368,9 +393,9 @@ func (s *Scheme) opCost(k opKey) (opCost, error) {
 	if err != nil {
 		return opCost{}, err
 	}
-	s.mu.Lock()
-	s.memo[k] = c
-	s.mu.Unlock()
+	sh.mu.Lock()
+	sh.m[k] = c
+	sh.mu.Unlock()
 	return c, nil
 }
 
@@ -459,7 +484,11 @@ func (s *Scheme) solveOp(k opKey) (opCost, error) {
 // MemoSize reports how many distinct operations the cost table holds
 // (exported for the LUT ablation bench).
 func (s *Scheme) MemoSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.memo)
+	n := 0
+	for i := range s.memo {
+		s.memo[i].mu.Lock()
+		n += len(s.memo[i].m)
+		s.memo[i].mu.Unlock()
+	}
+	return n
 }

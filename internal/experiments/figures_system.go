@@ -6,6 +6,7 @@ import (
 
 	"reramsim/internal/device"
 	"reramsim/internal/energy"
+	"reramsim/internal/par"
 	"reramsim/internal/stats"
 	"reramsim/internal/trace"
 	"reramsim/internal/wear"
@@ -44,8 +45,13 @@ func formatYears(y float64) string {
 }
 
 // speedupRows runs schemes x workloads and returns IPC normalised to the
-// reference scheme, one row per workload plus a geometric-mean row.
+// reference scheme, one row per workload plus a geometric-mean row. The
+// grid is primed in parallel first; the formatting loop below then reads
+// cache hits, so the table is identical at any -jobs setting.
 func (s *Suite) speedupRows(title, ref string, schemes []string) (string, error) {
+	if err := s.PrimeSims(crossPairs(append([]string{ref}, schemes...), Workloads())); err != nil {
+		return "", err
+	}
 	t := stats.NewTable(title, append([]string{"workload"}, schemes...)...)
 	gmeans := make([][]float64, len(schemes))
 	for _, w := range Workloads() {
@@ -214,6 +220,10 @@ func (s *Suite) Fig15() (string, error) {
 
 // Fig16 compares main-memory energy, normalised to Hard+Sys.
 func (s *Suite) Fig16() (string, error) {
+	if err := s.PrimeSims(crossPairs(
+		[]string{"Hard+Sys", "Base", "DRVR", "UDRVR+PR"}, Workloads())); err != nil {
+		return "", err
+	}
 	t := stats.NewTable("Fig. 16: main-memory energy (normalized to Hard+Sys)",
 		"workload", "Base", "DRVR", "UDRVR+PR", "UDRVR+PR read/write/leak split")
 	var ratios []float64
@@ -279,17 +289,34 @@ func (s *Suite) Fig17() (string, error) {
 }
 
 // sweep runs UDRVR+PR vs Hard+Sys across configuration variants and
-// reports the geometric-mean speedup per variant.
+// reports the geometric-mean speedup per variant. All (variant, scheme,
+// workload) simulations fan out together in one flattened batch before
+// the serial rendering loop reads them back from the caches.
 func (s *Suite) sweep(title string, variants []struct {
 	label string
 	mod   func(*xpoint.Config)
 }) (string, error) {
-	t := stats.NewTable(title, "variant", "UDRVR+PR vs Hard+Sys (gmean)", "worst write rst (ns)")
-	for _, v := range variants {
+	subs := make([]*Suite, len(variants))
+	for i, v := range variants {
 		sub, err := s.Variant(v.label, v.mod)
 		if err != nil {
 			return "", err
 		}
+		subs[i] = sub
+	}
+	pairs := crossPairs([]string{"Hard+Sys", "UDRVR+PR"}, Workloads())
+	err := par.ForEach(s.Context(), len(subs)*len(pairs), func(idx int) error {
+		p := pairs[idx%len(pairs)]
+		_, err := subs[idx/len(pairs)].Sim(p.Scheme, p.Workload)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+
+	t := stats.NewTable(title, "variant", "UDRVR+PR vs Hard+Sys (gmean)", "worst write rst (ns)")
+	for i, v := range variants {
+		sub := subs[i]
 		var sps []float64
 		for _, w := range Workloads() {
 			ref, err := sub.Sim("Hard+Sys", w)

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"reramsim/internal/memsys"
+	"reramsim/internal/obs"
+	"reramsim/internal/par"
+	"reramsim/internal/xpoint"
+)
+
+// sweepJSON runs a compact ext+main sweep on a FRESH suite (so nothing is
+// served from a cache shared between settings) and serializes everything
+// a figure would read: rendered ext output, the speedup table for a small
+// scheme set, and the raw simulation results.
+func sweepJSON(t *testing.T) []byte {
+	t.Helper()
+	s, err := NewSuite(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []string{"Base", "UDRVR+PR"}
+	workloads := []string{"mcf_m", "mil_m"}
+	if err := s.PrimeSims(crossPairs(schemes, workloads)); err != nil {
+		t.Fatal(err)
+	}
+	type point struct {
+		Scheme, Workload string
+		IPC              float64
+		Reads, Writes    uint64
+		EnergyTotal      float64
+	}
+	var pts []point
+	for _, sc := range schemes {
+		for _, w := range workloads {
+			r, err := s.Sim(sc, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, point{sc, w, r.IPC, r.Reads, r.Writes, r.Energy.Total()})
+		}
+	}
+	ext, err := s.ExtReadMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(struct {
+		Ext    string
+		Points []point
+	}{ext, pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSweepDeterministicAcrossJobs: the ext/main sweep JSON must be
+// byte-identical at -jobs=1, -jobs=8 and under GOMAXPROCS=2 — the
+// parallel engine's core guarantee.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full fresh-suite sweeps")
+	}
+	par.SetJobs(1)
+	ref := sweepJSON(t)
+
+	par.SetJobs(8)
+	if got := sweepJSON(t); string(got) != string(ref) {
+		t.Errorf("-jobs=8 output differs from serial:\nserial: %s\njobs=8: %s", ref, got)
+	}
+
+	old := runtime.GOMAXPROCS(2)
+	par.SetJobs(0)
+	got := sweepJSON(t)
+	runtime.GOMAXPROCS(old)
+	par.SetJobs(0)
+	if string(got) != string(ref) {
+		t.Errorf("GOMAXPROCS=2 output differs from serial:\nserial: %s\ngot: %s", ref, got)
+	}
+}
+
+// TestSimSingleflight: many concurrent Sim calls for one key must share a
+// single execution. Verified through the metric registry: the captured
+// reads across the hammer equal one run's worth.
+func TestSimSingleflight(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	})
+
+	s, err := NewSuite(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default().Snapshot()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*memsys.Result, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r, err := s.Sim("Base", "mcf_m")
+			if err != nil {
+				t.Error(err)
+			}
+			results[c] = r
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 1; c < callers; c++ {
+		if results[c] != results[0] {
+			t.Fatalf("caller %d got a different result pointer: the simulation ran more than once", c)
+		}
+	}
+	delta := obs.Default().Snapshot().Delta(before)
+	if got, want := delta.Counters["memsys.reads"], results[0].Reads; got != want {
+		t.Errorf("registry recorded %d reads across %d concurrent Sim calls, want one run's %d",
+			got, callers, want)
+	}
+	snap, ok := s.Metrics("Base", "mcf_m")
+	if !ok {
+		t.Fatal("no metrics snapshot captured")
+	}
+	if snap.Counters["memsys.reads"] != results[0].Reads {
+		t.Errorf("snapshot attributes %d reads, want %d", snap.Counters["memsys.reads"], results[0].Reads)
+	}
+}
+
+// TestSuiteParallelHammer drives Sim/Metrics/Scheme/Variant from many
+// goroutines at once; run under -race (make race-par) it is the suite's
+// data-race detector.
+func TestSuiteParallelHammer(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	})
+
+	s, err := NewSuite(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := crossPairs([]string{"Base", "Hard"}, []string{"mcf_m", "mil_m"})
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := pairs[g%len(pairs)]
+			if _, err := s.Sim(p.Scheme, p.Workload); err != nil {
+				t.Error(err)
+			}
+			s.Metrics(p.Scheme, p.Workload)
+			s.MetricsKeys()
+			if _, err := s.Scheme(p.Scheme); err != nil {
+				t.Error(err)
+			}
+			v, err := s.Variant("hammer-256", func(c *xpoint.Config) { c.Size = 256 })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := v.Scheme("Base"); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every pair must have an exactly attributed snapshot despite the
+	// concurrent runs.
+	for _, p := range pairs {
+		r, err := s.Sim(p.Scheme, p.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, ok := s.Metrics(p.Scheme, p.Workload)
+		if !ok {
+			t.Fatalf("%s/%s: no snapshot", p.Scheme, p.Workload)
+		}
+		if snap.Counters["memsys.reads"] != r.Reads || snap.Counters["memsys.writes"] != r.Writes {
+			t.Errorf("%s/%s: snapshot reads/writes %d/%d, result %d/%d — attribution leaked",
+				p.Scheme, p.Workload,
+				snap.Counters["memsys.reads"], snap.Counters["memsys.writes"], r.Reads, r.Writes)
+		}
+	}
+}
+
+// TestVariantInheritsMemCfg: a variant must simulate the same system as
+// its parent — including fault-injection settings — not a default one.
+func TestVariantInheritsMemCfg(t *testing.T) {
+	s, err := NewSuite(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MemCfg.UseCaches = true
+	s.MemCfg.Seed = 77
+	s.MemCfg.FaultProfile = "endurance"
+	s.MemCfg.FaultSeed = 5
+	s.MemCfg.MaxWriteRetries = 7
+
+	v, err := s.Variant("t-memcfg", func(c *xpoint.Config) { c.Size = 256 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MemCfg != s.MemCfg {
+		t.Errorf("variant MemCfg = %+v\nparent MemCfg = %+v", v.MemCfg, s.MemCfg)
+	}
+}
+
+// TestVariantFollowsParentCancellation: cancelling the parent's context
+// must stop sweeps on variant suites created before the cancellation.
+func TestVariantFollowsParentCancellation(t *testing.T) {
+	s, err := NewSuite(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Variant("t-cancel", func(c *xpoint.Config) { c.Size = 256 })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetContext(ctx)
+	cancel()
+	if _, err := v.Sim("Base", "mcf_m"); !errors.Is(err, context.Canceled) {
+		t.Errorf("variant Sim after parent cancellation: err = %v, want context.Canceled", err)
+	}
+
+	// A variant with its own context is independent of the parent's.
+	v.SetContext(context.Background())
+	if _, err := v.Sim("Base", "mcf_m"); err != nil {
+		t.Errorf("variant with own context should run: %v", err)
+	}
+}

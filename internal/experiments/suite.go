@@ -12,30 +12,45 @@ import (
 	"reramsim/internal/core"
 	"reramsim/internal/memsys"
 	"reramsim/internal/obs"
+	"reramsim/internal/par"
 	"reramsim/internal/trace"
 	"reramsim/internal/xpoint"
 )
 
 // Suite owns a calibrated configuration plus lazily built schemes and
 // cached simulation results, so figures sharing inputs do not recompute
-// them. A Suite is safe for concurrent use.
+// them. A Suite is safe for concurrent use: cache misses are deduplicated
+// per key (two callers racing on the same scheme, simulation or variant
+// share one execution instead of running it twice), and sweeps fan their
+// independent simulations out on the internal/par worker pool.
 type Suite struct {
 	Cfg    xpoint.Config // calibrated baseline array configuration
 	MemCfg memsys.Config
 
 	mu      sync.Mutex
 	ctx     context.Context // cancels between simulations; nil = Background
+	parent  *Suite          // variant suites follow their parent's context
 	schemes map[string]*core.Scheme
 	sims    map[string]*memsys.Result
 
 	// metrics holds the per-simulation observability snapshot (registry
 	// delta across the run) keyed scheme/workload, captured while
 	// obs.Enabled() so paper tables can be cross-checked against the
-	// internal distributions that produced them.
+	// internal distributions that produced them. Captured runs serialize
+	// through obs.Capture, so each snapshot is exact — it contains that
+	// simulation's activity and nothing else, even when other sims run
+	// concurrently.
 	metrics map[string]obs.Snapshot
 
 	// variant suites for the sweep figures (array size, node, Kr).
 	variants map[string]*Suite
+
+	// Per-key in-flight tracking: a second caller that misses a cache
+	// while the first caller is still computing the same key waits for
+	// that result instead of running the computation twice.
+	schemeFlight  par.Group[string, *core.Scheme]
+	simFlight     par.Group[string, *memsys.Result]
+	variantFlight par.Group[string, *Suite]
 }
 
 // NewSuite calibrates the default configuration and prepares caches.
@@ -75,21 +90,29 @@ func newSuitePrecalibrated(cfg xpoint.Config, accessesPerCore int) *Suite {
 
 // SetContext attaches a cancellation context: experiments check it
 // between simulations, so an interrupted sweep returns promptly with
-// the runs it completed instead of finishing the whole grid.
+// the runs it completed instead of finishing the whole grid. Variant
+// sub-suites follow their parent's context live (unless they are given
+// one of their own), so cancelling the parent also stops in-flight
+// variant sweeps.
 func (s *Suite) SetContext(ctx context.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctx = ctx
 }
 
-// Context returns the attached context (Background when none is set).
+// Context returns the attached context; a variant suite without its own
+// context inherits its parent's, and Background is the fallback.
 func (s *Suite) Context() context.Context {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ctx == nil {
-		return context.Background()
+	ctx, parent := s.ctx, s.parent
+	s.mu.Unlock()
+	if ctx != nil {
+		return ctx
 	}
-	return s.ctx
+	if parent != nil {
+		return parent.Context()
+	}
+	return context.Background()
 }
 
 // schemeBuilders maps the §VI configuration names to constructors.
@@ -116,34 +139,68 @@ func SchemeNames() []string {
 }
 
 // Scheme returns (building and caching on first use) a named scheme.
+// Concurrent first uses of the same name share one calibration.
 func (s *Suite) Scheme(name string) (*core.Scheme, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sc, ok := s.schemes[name]; ok {
+	sc, ok := s.schemes[name]
+	s.mu.Unlock()
+	if ok {
 		return sc, nil
 	}
-	build, ok := schemeBuilders[name]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
-	}
-	sc, err := build(s.Cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building %s: %w", name, err)
-	}
-	s.schemes[name] = sc
-	return sc, nil
+	sc, _, err := s.schemeFlight.Do(name, func() (*core.Scheme, error) {
+		// Re-check: this flight may start after a previous one for the
+		// same name already stored its result.
+		s.mu.Lock()
+		sc, ok := s.schemes[name]
+		s.mu.Unlock()
+		if ok {
+			return sc, nil
+		}
+		build, ok := schemeBuilders[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+		}
+		sc, err := build(s.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		}
+		s.mu.Lock()
+		s.schemes[name] = sc
+		s.mu.Unlock()
+		return sc, nil
+	})
+	return sc, err
 }
 
-// Sim runs (and caches) a simulation of workload under scheme.
+// Sim runs (and caches) a simulation of workload under scheme. Two
+// callers that both miss the cache for the same key share one execution:
+// the second waits for the first result instead of running the
+// simulation twice.
 func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 	key := scheme + "/" + workload
 	s.mu.Lock()
-	if r, ok := s.sims[key]; ok {
-		s.mu.Unlock()
+	r, ok := s.sims[key]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	s.mu.Unlock()
+	r, _, err := s.simFlight.Do(key, func() (*memsys.Result, error) {
+		return s.runSim(key, scheme, workload)
+	})
+	return r, err
+}
 
+// runSim executes one simulation and stores its result (plus, with
+// observability on, its exact metric snapshot). It re-checks the cache
+// first: a caller that missed the cache may enter a fresh flight only
+// after the previous flight for the same key already stored its result.
+func (s *Suite) runSim(key, scheme, workload string) (*memsys.Result, error) {
+	s.mu.Lock()
+	r, ok := s.sims[key]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
 	if err := s.Context().Err(); err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
 	}
@@ -155,30 +212,65 @@ func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// With observability on, bracket the run with registry snapshots so
-	// the delta attributes counters to this simulation. Concurrent Sim
-	// calls interleave their counts; the attribution is then best-effort.
+
+	var snap obs.Snapshot
 	capture := obs.Enabled()
-	var before obs.Snapshot
 	if capture {
-		before = obs.Default().Snapshot()
+		// Exact attribution: obs.Capture serializes captured windows
+		// process-wide, so the delta holds this run's counts and nothing
+		// else. The price is that instrumented simulations run one at a
+		// time; without -metrics (the fast path) sims stay fully parallel.
+		snap = obs.Capture(func() { r, err = memsys.Simulate(sc, b, s.MemCfg) })
+	} else {
+		r, err = memsys.Simulate(sc, b, s.MemCfg)
 	}
-	r, err := memsys.Simulate(sc, b, s.MemCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
 	}
 	s.mu.Lock()
 	s.sims[key] = r
 	if capture {
-		s.metrics[key] = obs.Default().Snapshot().Delta(before)
+		s.metrics[key] = snap
 	}
 	s.mu.Unlock()
 	return r, nil
 }
 
+// SimPair identifies one (scheme, workload) simulation of a sweep.
+type SimPair struct {
+	Scheme   string
+	Workload string
+}
+
+// crossPairs builds the schemes x workloads product in deterministic
+// (row-major) order.
+func crossPairs(schemes, workloads []string) []SimPair {
+	pairs := make([]SimPair, 0, len(schemes)*len(workloads))
+	for _, sc := range schemes {
+		for _, w := range workloads {
+			pairs = append(pairs, SimPair{Scheme: sc, Workload: w})
+		}
+	}
+	return pairs
+}
+
+// PrimeSims fans the given simulations out across the par worker pool,
+// filling the Suite's result cache. Sweep renderers call it before
+// their serial formatting loop: the loop then reads cache hits, so the
+// rendered output is byte-identical to a fully serial (-jobs=1) run
+// while the simulations themselves use every worker. Duplicate pairs
+// collapse onto one execution via the per-key in-flight tracking.
+func (s *Suite) PrimeSims(pairs []SimPair) error {
+	return par.ForEach(s.Context(), len(pairs), func(i int) error {
+		_, err := s.Sim(pairs[i].Scheme, pairs[i].Workload)
+		return err
+	})
+}
+
 // Metrics returns the observability snapshot captured for a cached
-// simulation (the registry delta across that run). The second result is
-// false when the simulation has not run, or ran with observability off.
+// simulation (the registry delta across exactly that run). The second
+// result is false when the simulation has not run, or ran with
+// observability off.
 func (s *Suite) Metrics(scheme, workload string) (obs.Snapshot, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,26 +292,39 @@ func (s *Suite) MetricsKeys() []string {
 
 // Variant returns a cached sub-suite with a modified array configuration
 // (used by the Fig. 18-20 sweeps). The key must uniquely identify the
-// modification.
+// modification. The sub-suite simulates the same system as its parent —
+// the full memory configuration (access budget, caches, seeds, fault
+// settings) carries over — and follows the parent's cancellation
+// context live. Concurrent first uses of the same key share one
+// construction.
 func (s *Suite) Variant(key string, mod func(*xpoint.Config)) (*Suite, error) {
 	s.mu.Lock()
-	if v, ok := s.variants[key]; ok {
-		s.mu.Unlock()
+	v, ok := s.variants[key]
+	s.mu.Unlock()
+	if ok {
 		return v, nil
 	}
-	s.mu.Unlock()
-
-	cfg := s.Cfg
-	mod(&cfg)
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("experiments: variant %s: %w", key, err)
-	}
-	v := newSuitePrecalibrated(cfg, s.MemCfg.AccessesPerCore)
-	s.mu.Lock()
-	v.ctx = s.ctx // sub-suite sweeps honour the same cancellation
-	s.variants[key] = v
-	s.mu.Unlock()
-	return v, nil
+	v, _, err := s.variantFlight.Do(key, func() (*Suite, error) {
+		s.mu.Lock()
+		v, ok := s.variants[key]
+		s.mu.Unlock()
+		if ok {
+			return v, nil
+		}
+		cfg := s.Cfg
+		mod(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: variant %s: %w", key, err)
+		}
+		v = newSuitePrecalibrated(cfg, 0)
+		v.MemCfg = s.MemCfg
+		v.parent = s // sub-suite sweeps honour the parent's cancellation
+		s.mu.Lock()
+		s.variants[key] = v
+		s.mu.Unlock()
+		return v, nil
+	})
+	return v, err
 }
 
 // Workloads returns the Table IV workload names in paper order.

@@ -1,0 +1,23 @@
+package obs
+
+import "sync"
+
+// captureMu serializes attributed capture windows process-wide.
+var captureMu sync.Mutex
+
+// Capture runs fn and returns the default-registry delta it produced.
+// Capture windows are mutually exclusive across the whole process: two
+// captured runs never interleave their counts, so the returned delta
+// attributes exactly the activity of fn — this is what makes per-run
+// metric snapshots exact when simulations otherwise run in parallel
+// (experiments.Suite routes every instrumented simulation through
+// Capture). Instrumented work running outside any Capture window can
+// still land inside the delta; callers wanting exact attribution must
+// funnel all instrumented work through Capture.
+func Capture(fn func()) Snapshot {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	before := Default().Snapshot()
+	fn()
+	return Default().Snapshot().Delta(before)
+}

@@ -1,0 +1,179 @@
+// Package par is the simulator's bounded parallel-execution layer: a
+// GOMAXPROCS-sized, context-aware worker pool (ForEach) and a per-key
+// in-flight deduplicator (Group).
+//
+// Every use site in the repository fans out work whose items are
+// independent and whose results are collected by index — never by map
+// iteration or completion order — so parallel output is byte-identical
+// to a serial (-jobs=1) run. The pool publishes its activity through
+// internal/obs ("par.*" series) so -metrics dumps show how much work ran
+// concurrently.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"reramsim/internal/obs"
+)
+
+// configuredJobs holds the -jobs override; 0 selects GOMAXPROCS.
+var configuredJobs atomic.Int64
+
+// Pool observability: batches and tasks executed, the resolved worker
+// count, and the high-water mark of concurrently running tasks.
+var (
+	obsBatches     = obs.C("par.batches")
+	obsTasks       = obs.C("par.tasks")
+	obsJobs        = obs.G("par.jobs")
+	obsInflightMax = obs.G("par.inflight_max")
+	obsDedup       = obs.C("par.group.deduped")
+)
+
+// SetJobs bounds the worker pool at n workers. n <= 0 restores the
+// default (GOMAXPROCS). cmd/reramsim and cmd/figures wire -jobs here.
+func SetJobs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	configuredJobs.Store(int64(n))
+}
+
+// Jobs returns the resolved worker bound: the SetJobs override when set,
+// GOMAXPROCS otherwise. It is always >= 1.
+func Jobs() int {
+	if n := int(configuredJobs.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to Jobs() workers.
+//
+// Determinism: items are identified by index, so callers that write
+// results into the i-th slot of a preallocated slice get output
+// independent of scheduling. When several items fail, the error of the
+// lowest index that actually ran is returned; once any item fails (or
+// ctx is cancelled) no new items are dispatched, but in-flight items
+// finish. With one worker the items run inline, in order, on the
+// calling goroutine — exactly the serial loop it replaces.
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := Jobs()
+	if workers > n {
+		workers = n
+	}
+	obsBatches.Inc()
+	obsJobs.Set(float64(workers))
+
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			obsTasks.Inc()
+			if errs[i] = fn(i); errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next item index to dispatch
+		done     atomic.Int64 // items completed without error
+		stop     atomic.Bool  // set on first failure or cancellation
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				obsInflightMax.SetMax(float64(inflight.Add(1)))
+				obsTasks.Inc()
+				err := fn(i)
+				inflight.Add(-1)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	// Cancellation may have stopped dispatch before every item ran; only
+	// a complete batch reports success.
+	if int(done.Load()) < n {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Group deduplicates concurrent calls by key: the first caller of a key
+// runs fn while later callers with the same key wait and share its
+// result. Once the call completes the key is forgotten, so a later
+// (non-overlapping) call runs fn again — callers layer their own result
+// cache on top. The zero Group is ready to use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Do runs fn for key, unless an identical call is already in flight, in
+// which case it blocks until that call completes and returns its result.
+// The second return reports whether this caller shared another caller's
+// run instead of executing fn itself.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		obsDedup.Inc()
+		<-f.done
+		return f.v, true, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.v, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.v, false, f.err
+}

@@ -7,8 +7,10 @@ import (
 )
 
 // Array is a simulatable cross-point MAT. It caches tabulated device
-// models for the hot ladder loops. An Array is not safe for concurrent
-// use; create one per goroutine (construction is cheap).
+// models for the hot ladder loops. An Array is safe for concurrent use:
+// its configuration and tabulated models are immutable after New, and
+// SimulateReset allocates all per-solve state (the ladder networks) on
+// each call, so independent solves on one Array may run in parallel.
 type Array struct {
 	cfg Config
 

@@ -1,8 +1,11 @@
 package xpoint
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"reramsim/internal/par"
 )
 
 // Map is a block-sampled field over the array: Blocks x Blocks values,
@@ -71,7 +74,9 @@ func ConstVolts(v float64) VoltsFunc {
 
 // OpFunc expands a cell position into the full concurrent RESET operation
 // used to evaluate that cell. The 1-bit default resets just the cell;
-// partition RESET adds its partner columns.
+// partition RESET adds its partner columns. Map sampling calls the
+// OpFunc from multiple goroutines, so it must be safe for concurrent
+// use (the stock SingleBitOp and scheme-derived OpFuncs are).
 type OpFunc func(row, col int) ResetOp
 
 // SingleBitOp returns the 1-bit OpFunc under volts.
@@ -114,21 +119,27 @@ func (a *Array) sampleMap(blocks int, op OpFunc, metric func(*ResetResult, int) 
 	}
 	b := a.cfg.Size / blocks
 	m := newMap(blocks)
-	for i := 0; i < blocks; i++ {
+	// Every block sample is an independent nonlinear solve writing one
+	// fixed slot Values[i][j], so the blocks*blocks grid fans out on the
+	// worker pool; see DESIGN.md §9 for why this cannot change results.
+	err := par.ForEach(context.Background(), blocks*blocks, func(idx int) error {
+		i, j := idx/blocks, idx%blocks
 		row := i*b + b/2
-		for j := 0; j < blocks; j++ {
-			col := j*b + b/2
-			rop := op(row, col)
-			res, err := a.SimulateReset(rop)
-			if err != nil {
-				return nil, fmt.Errorf("xpoint: map sample (%d,%d): %w", row, col, err)
-			}
-			k, err := findCol(rop, col)
-			if err != nil {
-				return nil, err
-			}
-			m.Values[i][j] = metric(res, k)
+		col := j*b + b/2
+		rop := op(row, col)
+		res, err := a.SimulateReset(rop)
+		if err != nil {
+			return fmt.Errorf("xpoint: map sample (%d,%d): %w", row, col, err)
 		}
+		k, err := findCol(rop, col)
+		if err != nil {
+			return err
+		}
+		m.Values[i][j] = metric(res, k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

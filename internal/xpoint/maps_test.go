@@ -3,6 +3,8 @@ package xpoint
 import (
 	"math"
 	"testing"
+
+	"reramsim/internal/par"
 )
 
 func TestEffectiveVrstMapTrends(t *testing.T) {
@@ -59,6 +61,38 @@ func TestLatencyAndEnduranceMapsConsistent(t *testing.T) {
 	// The slowest cell is also the most durable one (§II-B trade-off).
 	if lat.Values[3][3] != lat.Max() || end.Values[3][3] != end.Max() {
 		t.Error("far corner must be slowest and most durable")
+	}
+}
+
+// TestMapsDeterministicAcrossJobs: block-parallel sampling must produce
+// bit-identical maps at every worker count (each block is an independent
+// solve written to a fixed slot; see DESIGN.md §9).
+func TestMapsDeterministicAcrossJobs(t *testing.T) {
+	arr, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := SingleBitOp(ConstVolts(3.0))
+	sample := func(jobs int) *Map {
+		par.SetJobs(jobs)
+		m, err := arr.EffectiveVrstMap(8, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	defer par.SetJobs(0)
+	ref := sample(1)
+	for _, jobs := range []int{2, 8} {
+		m := sample(jobs)
+		for i := range ref.Values {
+			for j := range ref.Values[i] {
+				if m.Values[i][j] != ref.Values[i][j] {
+					t.Fatalf("jobs=%d: block (%d,%d) = %v, serial %v",
+						jobs, i, j, m.Values[i][j], ref.Values[i][j])
+				}
+			}
+		}
 	}
 }
 
