@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par vuln bench
+.PHONY: ci fmt vet build test race race-fault race-par vuln bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par vuln
+ci: fmt vet build test race-fault race-par bench-guard vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,10 +28,11 @@ race-fault:
 	$(GO) test -race ./internal/fault/ ./internal/memsys/ ./internal/ecp/ ./internal/wear/
 
 # The parallel-execution layer under the race detector: the worker pool,
-# the singleflighted Suite caches and the sharded scheme memo are where
-# fan-out contention lives (make race covers everything).
+# the singleflighted Suite caches, the sharded scheme memo and the pooled
+# array solve contexts are where fan-out contention lives (make race
+# covers everything).
 race-par:
-	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/core/
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/core/ ./internal/xpoint/
 
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:
@@ -42,3 +43,15 @@ vuln:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The steady-state allocation guard: SimulateResetInto must stay at
+# 0 allocs/op (the benchmark itself fails otherwise), run briefly as part
+# of ci.
+bench-guard:
+	$(GO) test -run xxx -bench BenchmarkResetOpSteadyState -benchtime 100x -benchmem .
+
+# Machine-readable micro-benchmark snapshot for the perf trajectory.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel' \
+		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"

@@ -155,6 +155,34 @@ func BenchmarkResetOp4Bit(b *testing.B) {
 	}
 }
 
+// BenchmarkResetOpSteadyState guards the zero-allocation solver hot
+// path: once the Array's context pool is warm, SimulateResetInto with a
+// caller-owned result must not allocate at all — the ladders, scratch
+// slices and result slices are all reused. The guard fails the benchmark
+// (and make ci) if an allocation sneaks back in.
+func BenchmarkResetOpSteadyState(b *testing.B) {
+	arr := benchArray(b)
+	op := ResetOp{Row: 511, Cols: []int{511}, Volts: []float64{3.0}}
+	var res ResetResult
+	if err := arr.SimulateResetInto(op, &res); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := arr.SimulateResetInto(op, &res); err != nil {
+			b.Fatal(err)
+		}
+	}); avg > 0 {
+		b.Fatalf("steady-state SimulateResetInto allocates %.1f times/op, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := arr.SimulateResetInto(op, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCostWriteMemoized measures the steady-state (table-hit) cost
 // of pricing a line write — the hot path of the system simulator.
 func BenchmarkCostWriteMemoized(b *testing.B) {

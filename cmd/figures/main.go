@@ -18,8 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/par"
+	"reramsim/internal/solvecache"
 )
 
 func main() {
@@ -29,9 +31,18 @@ func main() {
 		skipMaps = flag.Bool("skip-maps", false, "skip the surface-map experiments (fig4, fig6, fig11, fig13)")
 		jobs     = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
 	)
 	flag.Parse()
 	par.SetJobs(*jobs)
+	if *solveCacheDir != "" {
+		sc, err := solvecache.Open(*solveCacheDir)
+		if err != nil {
+			fail(fmt.Errorf("-solve-cache: %w", err))
+		}
+		core.SetSolveCache(sc)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

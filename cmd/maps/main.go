@@ -16,7 +16,9 @@ import (
 	"strconv"
 	"strings"
 
+	"reramsim/internal/core"
 	"reramsim/internal/experiments"
+	"reramsim/internal/solvecache"
 	"reramsim/internal/xpoint"
 )
 
@@ -26,8 +28,17 @@ func main() {
 		metric = flag.String("metric", "veff", "veff | latency | endurance")
 		blocks = flag.Int("blocks", 8, "sampling blocks per axis (must divide the array size)")
 		list   = flag.Bool("list", false, "list schemes and exit")
+
+		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
 	)
 	flag.Parse()
+	if *solveCacheDir != "" {
+		sc, err := solvecache.Open(*solveCacheDir)
+		if err != nil {
+			fail(fmt.Errorf("-solve-cache: %w", err))
+		}
+		core.SetSolveCache(sc)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.SchemeNames(), "\n"))

@@ -25,10 +25,12 @@ import (
 	"os/signal"
 	"strings"
 
+	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
+	"reramsim/internal/solvecache"
 	"reramsim/internal/wear"
 )
 
@@ -48,6 +50,8 @@ func main() {
 		maxRetries   = flag.Int("max-write-retries", 3, "write-verify retries before a cell is declared stuck")
 
 		jobs = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
+
+		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
 
 		metrics    = flag.Bool("metrics", false, "dump the metric registry after the run")
 		metricsFmt = flag.String("metrics-format", "text", "metrics dump format: text (Prometheus-style) or json")
@@ -72,6 +76,13 @@ func main() {
 	}
 
 	par.SetJobs(*jobs)
+	if *solveCacheDir != "" {
+		sc, err := solvecache.Open(*solveCacheDir)
+		if err != nil {
+			fail(fmt.Errorf("-solve-cache: %w", err))
+		}
+		core.SetSolveCache(sc)
+	}
 	if *metrics || *traceOut != "" || *pprofAddr != "" {
 		obs.SetEnabled(true)
 	}

@@ -8,6 +8,8 @@ import (
 
 	"reramsim/internal/chargepump"
 	"reramsim/internal/obs"
+	"reramsim/internal/par"
+	"reramsim/internal/solvecache"
 	"reramsim/internal/write"
 	"reramsim/internal/xpoint"
 )
@@ -65,18 +67,25 @@ type Scheme struct {
 	// The RESET cost memo is the hot shared structure when simulations
 	// fan out: every write prices its ops here. Sharding the table by key
 	// hash keeps concurrent lookups of different ops off one another's
-	// lock. Duplicate concurrent solves of the same key are possible but
-	// harmless — solveOp is deterministic, so both writers store the same
-	// value.
+	// lock; a per-shard singleflight collapses concurrent cold misses of
+	// the same key onto one solve.
 	memo [memoShards]memoShard
+
+	// Persistent solve cache (nil when disabled). Captured from the
+	// process-wide handle at construction; memoKey addresses this
+	// scheme's memo dump and flushMu serialises its rewrites.
+	cache   *solvecache.Cache
+	memoKey string
+	flushMu sync.Mutex
 }
 
 // memoShards is the number of independent memo partitions (power of two).
 const memoShards = 16
 
 type memoShard struct {
-	mu sync.Mutex
-	m  map[opKey]opCost
+	mu     sync.Mutex
+	m      map[opKey]opCost
+	flight par.Group[opKey, opCost]
 }
 
 // shardOf maps an op key to its memo partition.
@@ -143,6 +152,16 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 		return nil, err
 	}
 
+	// The persistent solve cache (when installed) serves the calibrated
+	// level tables and, below, the RESET cost memo. Keys are content
+	// digests of the options, so a cached table is exactly what the live
+	// calibration would compute — loading it changes no downstream bit.
+	cache := solveCacheHandle()
+	var optDigest string
+	if cache != nil {
+		optDigest = optionsDigest(opt)
+	}
+
 	sections := opt.DRVRSections
 	if sections == 0 {
 		sections = Sections
@@ -153,11 +172,20 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 	case opt.StaticLevel > 0:
 		levels = FlatLevels(sections, cfg.DataWidth, opt.StaticLevel)
 	case opt.EffTarget > 0:
+		if t, ok := cachedLevels(cache, optDigest, Sections, cfg.DataWidth); ok {
+			levels = t
+			break
+		}
 		levels, err = CalibrateTargetEff(arr, opt.EffTarget, minLevel, opt.MaxLevel)
 		if err != nil {
 			return nil, err
 		}
+		cache.Put("levels-"+optDigest, encodeLevels(levels))
 	case opt.DRVR:
+		if t, ok := cachedLevels(cache, optDigest, sections, cfg.DataWidth); ok {
+			levels = t
+			break
+		}
 		levels, err = CalibrateDRVRSections(arr, sections, opt.MaxLevel)
 		if err != nil {
 			return nil, err
@@ -168,6 +196,7 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 				return nil, err
 			}
 		}
+		cache.Put("levels-"+optDigest, encodeLevels(levels))
 	}
 
 	pumpV := math.Max(cfg.Params.Vrst, levels.Max())
@@ -188,6 +217,17 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 	}
 	for i := range s.memo {
 		s.memo[i].m = make(map[opKey]opCost)
+	}
+	s.cache = cache
+	if cache != nil {
+		// The memo dump is keyed by the level table's exact bits on top of
+		// the options digest; a warm directory seeds the whole cost table
+		// here, so a repeat sweep prices every op without touching the
+		// array solver.
+		s.memoKey = "memo-" + memoDigest(optDigest, levels)
+		if payload, ok := cache.Get(s.memoKey); ok {
+			s.preloadMemo(payload)
+		}
 	}
 	return s, nil
 }
@@ -376,6 +416,10 @@ const (
 )
 
 // opCost returns the memoized cost of one array RESET operation.
+// Concurrent cold misses of the same key collapse onto one solve via the
+// shard's singleflight; with a persistent cache installed, each newly
+// solved entry triggers a full (sorted, atomic) memo flush so the next
+// process starts warm.
 func (s *Scheme) opCost(k opKey) (opCost, error) {
 	if !s.opt.ExactMasks {
 		k.mask = canonicalMask(k.mask)
@@ -389,13 +433,28 @@ func (s *Scheme) opCost(k opKey) (opCost, error) {
 		return c, nil
 	}
 	obsMemoMisses.Inc()
-	c, err := s.solveOp(k)
+	c, _, err := sh.flight.Do(k, func() (opCost, error) {
+		// Re-check under the flight: a solve that completed between our
+		// miss and this call has already stored the value.
+		sh.mu.Lock()
+		c, ok := sh.m[k]
+		sh.mu.Unlock()
+		if ok {
+			return c, nil
+		}
+		c, err := s.solveOp(k)
+		if err != nil {
+			return opCost{}, err
+		}
+		sh.mu.Lock()
+		sh.m[k] = c
+		sh.mu.Unlock()
+		s.flushMemo()
+		return c, nil
+	})
 	if err != nil {
 		return opCost{}, err
 	}
-	sh.mu.Lock()
-	sh.m[k] = c
-	sh.mu.Unlock()
 	return c, nil
 }
 

@@ -1,0 +1,143 @@
+// Package solvecache is a content-addressed on-disk cache for solver
+// products (calibrated level tables, RESET cost memo entries).
+//
+// Entries are keyed by a digest of everything that determines the solve
+// (array config, options, table contents, a schema version), so a key
+// either names exactly the bytes a live solve would produce or does not
+// exist: there is no invalidation protocol — changed inputs simply hash
+// to a different key and the stale file is never read again.
+//
+// The cache is strictly best-effort: a nil *Cache, a missing directory,
+// a truncated file, a checksum mismatch or a stale schema version all
+// degrade to a miss, and the caller re-solves live. Writes go through a
+// temp file + rename so concurrent processes sharing a directory never
+// observe a torn entry.
+package solvecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+
+	"reramsim/internal/obs"
+)
+
+// SchemaVersion is the on-disk container version. Bumping it orphans
+// every existing entry (they fail the header check and fall back to live
+// solves); callers layer their own payload versions into the key digest
+// for format changes of the payload itself.
+const SchemaVersion = 1
+
+// magic identifies reramsim solve-cache files.
+var magic = [4]byte{'R', 'S', 'S', 'C'}
+
+// header layout: magic (4) | schema (4, LE) | payload length (8, LE) |
+// payload SHA-256 (32) | payload.
+const headerSize = 4 + 4 + 8 + sha256.Size
+
+var (
+	obsHits   = obs.C("solvecache.hits")
+	obsMisses = obs.C("solvecache.misses")
+	obsWrites = obs.C("solvecache.writes")
+	obsErrors = obs.C("solvecache.errors")
+)
+
+// Cache is one cache directory. A nil *Cache is valid: every Get misses
+// and every Put is a no-op, so callers thread one pointer through without
+// guarding the disabled case.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory, or "" for a nil cache.
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// path maps a key (a hex digest, by convention prefixed with the entry
+// kind) to its file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".bin")
+}
+
+// Get returns the payload stored under key, or (nil, false) when the
+// entry is absent, truncated, corrupt, or from another schema version.
+// Failures are silent by design: the caller always has the live solve.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		obsMisses.Inc()
+		return nil, false
+	}
+	if len(blob) < headerSize || [4]byte(blob[:4]) != magic {
+		obsMisses.Inc()
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(blob[4:8]) != SchemaVersion {
+		obsMisses.Inc()
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(blob[8:16])
+	payload := blob[headerSize:]
+	if uint64(len(payload)) != n {
+		obsMisses.Inc()
+		return nil, false
+	}
+	if sha256.Sum256(payload) != [sha256.Size]byte(blob[16:headerSize]) {
+		obsMisses.Inc()
+		return nil, false
+	}
+	obsHits.Inc()
+	return payload, true
+}
+
+// Put stores payload under key atomically (temp file + rename). Errors
+// are swallowed after counting: a read-only or full disk turns the cache
+// off, it never turns the run into a failure.
+func (c *Cache) Put(key string, payload []byte) {
+	if c == nil {
+		return
+	}
+	blob := make([]byte, headerSize+len(payload))
+	copy(blob[:4], magic[:])
+	binary.LittleEndian.PutUint32(blob[4:8], SchemaVersion)
+	binary.LittleEndian.PutUint64(blob[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(blob[16:headerSize], sum[:])
+	copy(blob[headerSize:], payload)
+
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		obsErrors.Inc()
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		obsErrors.Inc()
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+		obsErrors.Inc()
+		return
+	}
+	obsWrites.Inc()
+}

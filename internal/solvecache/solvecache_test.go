@@ -1,0 +1,138 @@
+package solvecache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the exact bytes of a solved table")
+	c.Put("abc123", payload)
+	got, ok := c.Get("abc123")
+	if !ok {
+		t.Fatal("Get missed a freshly Put entry")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+	if _, ok := c.Get("never-written"); ok {
+		t.Fatal("Get hit an absent key")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("empty", nil)
+	got, ok := c.Get("empty")
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload round-trip: ok=%v len=%d", ok, len(got))
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	c.Put("k", []byte("x")) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Dir() != "" {
+		t.Fatal("nil cache has a directory")
+	}
+}
+
+// corrupt writes a valid entry, mutates its file with f, and asserts the
+// next Get silently misses.
+func corrupt(t *testing.T, name string, f func([]byte) []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("payload under test"))
+	path := filepath.Join(dir, "k.bin")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("%s: Get returned a hit from a corrupt entry", name)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	corrupt(t, "truncated-header", func(b []byte) []byte { return b[:headerSize-5] })
+	corrupt(t, "truncated-payload", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt(t, "empty-file", func(b []byte) []byte { return nil })
+}
+
+func TestBadChecksum(t *testing.T) {
+	corrupt(t, "payload-flip", func(b []byte) []byte {
+		b[len(b)-1] ^= 0xff
+		return b
+	})
+	corrupt(t, "checksum-flip", func(b []byte) []byte {
+		b[16] ^= 0xff
+		return b
+	})
+}
+
+func TestStaleSchemaVersion(t *testing.T) {
+	corrupt(t, "old-schema", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:8], SchemaVersion+41)
+		return b
+	})
+	corrupt(t, "bad-magic", func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	})
+}
+
+func TestExtendedFile(t *testing.T) {
+	// Extra trailing bytes disagree with the recorded length: reject.
+	corrupt(t, "extended", func(b []byte) []byte { return append(b, 0xaa) })
+}
+
+func TestOverwrite(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("second, longer payload"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "second, longer payload" {
+		t.Fatalf("overwrite failed: ok=%v got=%q", ok, got)
+	}
+}
+
+func TestNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put("k", []byte("v"))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("expected exactly the entry file, found %d files", len(ents))
+	}
+}

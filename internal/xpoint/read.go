@@ -49,7 +49,7 @@ func (a *Array) SimulateRead(row int, cols []int) (*ReadResult, error) {
 		l.setSource(0, p.Vread, cfg.Rdec)
 		l.setBounds(0, p.Vread)
 		for _, c := range cols {
-			dev := device.Device(lrs)
+			dev := lrs
 			if c == target && targetState == device.HRS {
 				dev = hrs
 			}

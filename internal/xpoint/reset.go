@@ -77,12 +77,85 @@ const (
 	ladderIter   = 60
 )
 
+// solveCtx is the per-solve working set: the piece ladders and every
+// scratch slice SimulateReset needs. Contexts live in the Array's pool so
+// steady-state solves reuse them without allocating; ladders are
+// reconfigured from the Array's immutable prototypes each op, which keeps
+// results bit-identical to building them from scratch.
+type solveCtx struct {
+	bl []*ladder // one full-Size bit-line ladder per piece
+	wl []*ladder // one word-line ladder per piece, re-spanned per op
+
+	lo, hi     []int // piece column bounds
+	tie0, tie1 []int // ground-tie node per piece (-1 = none/oracle-overridden)
+	ipiece     []float64
+
+	// Oracle decomposition scratch: one reusable 1-bit sub-op + result.
+	subCols  [1]int
+	subVolts [1]float64
+	subRes   ResetResult
+}
+
+// grow ensures the context can hold an n-piece op on array a.
+func (c *solveCtx) grow(a *Array, n int) {
+	for len(c.bl) < n {
+		c.bl = append(c.bl, newLadder(a.cfg.Size, a.cfg.Rwire))
+		c.wl = append(c.wl, newLadderCap(a.cfg.Size, a.cfg.Size, a.cfg.Rwire))
+	}
+	if cap(c.lo) < n {
+		c.lo = make([]int, n)
+		c.hi = make([]int, n)
+		c.tie0 = make([]int, n)
+		c.tie1 = make([]int, n)
+		c.ipiece = make([]float64, n)
+	}
+	c.lo, c.hi = c.lo[:n], c.hi[:n]
+	c.tie0, c.tie1 = c.tie0[:n], c.tie1[:n]
+	c.ipiece = c.ipiece[:n]
+}
+
+func (a *Array) getCtx(n int) *solveCtx {
+	c := a.ctxs.Get().(*solveCtx)
+	c.grow(a, n)
+	return c
+}
+
+func (a *Array) putCtx(c *solveCtx) { a.ctxs.Put(c) }
+
+// growFloats returns s resized to n elements, reusing its backing array
+// when it is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // SimulateReset solves the array model for op and derives per-cell
 // effective voltages, currents and the op latency.
 func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 	if err := op.Validate(a.cfg); err != nil {
 		return nil, err
 	}
+	res := &ResetResult{}
+	a.simulateInto(op, res)
+	return res, nil
+}
+
+// SimulateResetInto is SimulateReset writing into a caller-owned result,
+// reusing its slices when they have capacity. Steady-state use (one
+// long-lived ResetResult per goroutine) does not allocate.
+func (a *Array) SimulateResetInto(op ResetOp, res *ResetResult) error {
+	if err := op.Validate(a.cfg); err != nil {
+		return err
+	}
+	a.simulateInto(op, res)
+	return nil
+}
+
+// simulateInto runs a validated op. It is the allocation-free hot path
+// behind both public entry points.
+func (a *Array) simulateInto(op ResetOp, res *ResetResult) {
 	cfg := a.cfg
 	n := len(op.Cols)
 
@@ -107,12 +180,15 @@ func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 	// solves. (The trunk feedback below models the single shared decoder
 	// return, which the oracle's extra grounds bypass.)
 	if n > 1 && (cfg.OracleWL > 0 || cfg.OracleBL > 0) {
-		return a.simulateOracle(op)
+		a.simulateOracleInto(op, res)
+		return
 	}
 
+	ctx := a.getCtx(n)
+	defer a.putCtx(ctx)
+	lo, hi := ctx.lo, ctx.hi
+
 	// Piece boundaries: midpoints between consecutive selected columns.
-	lo := make([]int, n)
-	hi := make([]int, n)
 	for k := range op.Cols {
 		if k == 0 {
 			lo[k] = 0
@@ -142,18 +218,19 @@ func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 	// at compliance current.
 	trunkRef := float64(cfg.DataWidth) * cfg.Params.Ion
 
-	bl := make([]*ladder, n)
-	wl := make([]*ladder, n)
-	icell := make([]float64, n)
-	ipiece := make([]float64, n)
-	veff := make([]float64, n)
+	res.Veff = growFloats(res.Veff, n)
+	res.Icell = growFloats(res.Icell, n)
 
+	// All per-piece configuration that does not depend on the evolving
+	// ground potential is done once here, not per outer iteration: the
+	// bit-line is the prototype background with the driver taps and the
+	// selected row overridden, and the word-line keeps static loads and
+	// tie/tap conductances while the outer loop only rewrites the tie
+	// potentials in place.
 	for k := 0; k < n; k++ {
-		bl[k] = a.buildBL(op.Volts[k], op.Row, vhalfWL)
-		bl[k].setBounds(0, vaMax)
-		wl[k] = newLadder(hi[k]-lo[k], cfg.Rwire)
-		bl[k].init(op.Volts[k])
-		wl[k].init(0)
+		a.resetBL(ctx.bl[k], op.Volts[k], op.Row, vhalfWL, vaMax)
+		ctx.tie0[k], ctx.tie1[k] = a.configureWL(ctx.wl[k], lo[k], hi[k], op, k, n, vhalfBL, vaMax)
+		ctx.ipiece[k] = 0
 	}
 
 	itotal := 0.0
@@ -173,31 +250,37 @@ func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 			// benign around the 3-4-bit sweet spot and punishing at
 			// D-BL's forced 8-bit RESETs, which is the paper's Fig. 11a
 			// observation and the reason PR beats D-BL.
-			iothers := prevTotal - ipiece[k]
+			iothers := prevTotal - ctx.ipiece[k]
 			if iothers < 0 {
 				iothers = 0
 			}
 			crowding := prevTotal / trunkRef
 			vg := rdec*prevTotal + rtrunk*iothers*crowding
 
-			a.configureWL(wl[k], lo[k], hi[k], op, k, n, vhalfBL, vg)
-			wl[k].setBounds(0, vaMax)
-			iv, ic := a.solvePiece(bl[k], wl[k], op, k, lo[k])
-			veff[k], icell[k] = iv, ic
+			wlk := ctx.wl[k]
+			if t := ctx.tie0[k]; t >= 0 {
+				wlk.srcV[t] = vg
+			}
+			if t := ctx.tie1[k]; t >= 0 {
+				wlk.srcV[t] = vg
+			}
+			iv, ic := a.solvePiece(ctx.bl[k], wlk, op, k, lo[k])
+			res.Veff[k], res.Icell[k] = iv, ic
 
 			// Piece ground current: everything the local ladder hands to
 			// its ground tie(s).
-			ipiece[k] = pieceGroundCurrent(wl[k])
-			itotal += ipiece[k]
+			ctx.ipiece[k] = pieceGroundCurrent(wlk)
+			itotal += ctx.ipiece[k]
 		}
 		if math.Abs(itotal-prevTotal) < outerTol*(1e-6+math.Abs(itotal)) {
 			break
 		}
 	}
 
-	res := &ResetResult{Veff: veff, Icell: icell, Itotal: itotal}
+	res.Itotal = itotal
 	res.Latency = 0
-	for _, v := range veff {
+	res.Failed = false
+	for _, v := range res.Veff {
 		lat := cfg.Params.ResetLatency(v)
 		if math.IsInf(lat, 1) {
 			res.Failed = true
@@ -207,44 +290,45 @@ func (a *Array) SimulateReset(op ResetOp) (*ResetResult, error) {
 		}
 	}
 	recordReset(op, res)
-	return res, nil
 }
 
-// simulateOracle evaluates a multi-bit RESET on an oracle-tapped array as
-// independent 1-bit operations.
-func (a *Array) simulateOracle(op ResetOp) (*ResetResult, error) {
+// simulateOracleInto evaluates a multi-bit RESET on an oracle-tapped
+// array as independent 1-bit operations, reusing one scratch sub-op and
+// sub-result across columns (the outer op was already validated).
+func (a *Array) simulateOracleInto(op ResetOp, out *ResetResult) {
 	n := len(op.Cols)
-	out := &ResetResult{
-		Veff:  make([]float64, n),
-		Icell: make([]float64, n),
-	}
+	out.Veff = growFloats(out.Veff, n)
+	out.Icell = growFloats(out.Icell, n)
+	out.Itotal, out.Latency, out.Failed = 0, 0, false
+
+	ctx := a.getCtx(1)
+	defer a.putCtx(ctx)
+	sub := ResetOp{Row: op.Row, Cols: ctx.subCols[:1], Volts: ctx.subVolts[:1]}
 	for i := 0; i < n; i++ {
-		res, err := a.SimulateReset(ResetOp{
-			Row:   op.Row,
-			Cols:  []int{op.Cols[i]},
-			Volts: []float64{op.Volts[i]},
-		})
-		if err != nil {
-			return nil, err
+		sub.Cols[0] = op.Cols[i]
+		sub.Volts[0] = op.Volts[i]
+		a.simulateInto(sub, &ctx.subRes)
+		out.Veff[i] = ctx.subRes.Veff[0]
+		out.Icell[i] = ctx.subRes.Icell[0]
+		out.Itotal += ctx.subRes.Itotal
+		if ctx.subRes.Latency > out.Latency {
+			out.Latency = ctx.subRes.Latency
 		}
-		out.Veff[i] = res.Veff[0]
-		out.Icell[i] = res.Icell[0]
-		out.Itotal += res.Itotal
-		if res.Latency > out.Latency {
-			out.Latency = res.Latency
-		}
-		out.Failed = out.Failed || res.Failed
+		out.Failed = out.Failed || ctx.subRes.Failed
 	}
-	return out, nil
 }
 
-// buildBL constructs the selected bit-line ladder: write driver(s),
-// half-selected background loads, and oracle taps. The selected row's
-// load is (re)attached inside solvePiece because its far potential is the
-// word-line node.
-func (a *Array) buildBL(va float64, row int, vhalf float64) *ladder {
+// resetBL reconfigures a pooled full-Size ladder into the selected
+// bit-line: write driver(s), oracle taps, and the prototype half-selected
+// background with the selected row's load detached (it is (re)attached
+// inside solvePiece because its far potential is the word-line node).
+func (a *Array) resetBL(l *ladder, va float64, row int, vhalf, vaMax float64) {
 	cfg := a.cfg
-	l := newLadder(cfg.Size, cfg.Rwire)
+	l.resize(cfg.Size)
+	for i := range l.srcG {
+		l.srcG[i] = 0
+		l.srcV[i] = 0
+	}
 	l.setSource(0, va, cfg.Rdrv)
 	if cfg.DSWD {
 		l.setSource(cfg.Size-1, va, cfg.Rdrv)
@@ -254,45 +338,60 @@ func (a *Array) buildBL(va float64, row int, vhalf float64) *ladder {
 			l.setSource(i, va, cfg.Rdrv)
 		}
 	}
-	for i := 0; i < cfg.Size; i++ {
-		if i != row {
-			l.setLoad(i, a.half, vhalf)
-		}
+	copy(l.loads, a.protoLoads)
+	l.loads[row] = nil
+	for i := range l.loadU {
+		l.loadU[i] = vhalf
 	}
-	return l
+	l.loadU[row] = 0
+	l.setBounds(0, vaMax)
+	l.init(va)
 }
 
-// configureWL (re)builds the local word-line ladder of piece k: a stiff
-// tie to the piece's ground potential, half-selected injections from the
+// configureWL builds the local word-line ladder of piece k: a stiff tie
+// to the piece's ground potential, half-selected injections from the
 // background, oracle ground taps, and the selected cell load (attached in
-// solvePiece).
-func (a *Array) configureWL(l *ladder, lo, hi int, op ResetOp, k, n int, vhalf, vg float64) {
+// solvePiece). It returns the tie node indices whose potential the outer
+// loop must track (-1 = unused); ties that coincide with an oracle tap
+// are reported as unused because the tap's hard ground overrides them.
+func (a *Array) configureWL(l *ladder, lo, hi int, op ResetOp, k, n int, vhalf, vaMax float64) (tie0, tie1 int) {
 	cfg := a.cfg
+	l.resize(hi - lo)
 	l.reset()
+	tie0, tie1 = -1, -1
 	switch {
 	case cfg.DSGB && n == 1:
 		// One piece spanning the whole word-line, grounded at both ends.
-		l.setSource(0, vg, 1e-2)
-		l.setSource(hi-lo-1, vg, 1e-2)
+		tie0, tie1 = 0, hi-lo-1
+		l.setSource(tie0, 0, 1e-2)
+		l.setSource(tie1, 0, 1e-2)
 	case cfg.DSGB:
 		// Outer pieces reach their physical decoder; inner pieces ground
 		// toward the nearer edge.
 		if k == 0 {
-			l.setSource(0, vg, 1e-2)
+			tie0 = 0
 		} else if k == n-1 {
-			l.setSource(hi-lo-1, vg, 1e-2)
+			tie0 = hi - lo - 1
 		} else if (lo+hi)/2 > cfg.Size/2 {
-			l.setSource(hi-lo-1, vg, 1e-2)
+			tie0 = hi - lo - 1
 		} else {
-			l.setSource(0, vg, 1e-2)
+			tie0 = 0
 		}
+		l.setSource(tie0, 0, 1e-2)
 	default:
-		l.setSource(0, vg, 1e-2)
+		tie0 = 0
+		l.setSource(tie0, 0, 1e-2)
 	}
 	if m := cfg.OracleWL; m > 0 {
 		for c := 0; c < cfg.Size; c += m {
 			if c >= lo && c < hi {
 				l.setSource(c-lo, 0, cfg.Rdec)
+				if c-lo == tie0 {
+					tie0 = -1
+				}
+				if c-lo == tie1 {
+					tie1 = -1
+				}
 			}
 		}
 	}
@@ -301,6 +400,9 @@ func (a *Array) configureWL(l *ladder, lo, hi int, op ResetOp, k, n int, vhalf, 
 			l.setLoad(c-lo, a.half, vhalf)
 		}
 	}
+	l.setBounds(0, vaMax)
+	l.init(0)
+	return tie0, tie1
 }
 
 // solvePiece alternates the piece's coupled bit-line and word-line
