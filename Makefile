@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par vuln bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume vuln bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par bench-guard vuln
+ci: fmt vet build test race-fault race-par test-resume bench-guard vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,6 +33,16 @@ race-fault:
 # covers everything).
 race-par:
 	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/core/ ./internal/xpoint/
+
+# The crash-safe sweep engine under the race detector: journal
+# replay, resume byte-identity, panic isolation and watchdog state are
+# the newest concurrent machinery — plus the CLI exit-code smoke tests
+# (quarantined cell -> exit 3, SIGTERM -> exit 130 -> byte-identical
+# resume).
+test-resume:
+	$(GO) test -race ./internal/jobs/ ./internal/atomicio/
+	$(GO) test -race -run 'TestResume|TestPrimeSimsQuarantine|TestGridDigest' ./internal/experiments/
+	$(GO) test -run 'TestQuarantineExitCodeSmoke|TestSigtermResumeByteIdentical' ./cmd/reramsim/
 
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:

@@ -16,10 +16,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"reramsim/internal/core"
 	"reramsim/internal/experiments"
+	"reramsim/internal/jobs"
 	"reramsim/internal/par"
 	"reramsim/internal/solvecache"
 )
@@ -29,13 +31,20 @@ func main() {
 		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
 		accesses = flag.Int("accesses", 5000, "memory accesses simulated per core")
 		skipMaps = flag.Bool("skip-maps", false, "skip the surface-map experiments (fig4, fig6, fig11, fig13)")
-		jobs     = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
+		jobsFlag = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "journal sweep cells to this directory (crash-safe; cold start)")
+		resumeDir     = flag.String("resume", "", "resume journaled sweeps from this checkpoint directory, skipping finished cells")
+		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell deadline for journaled sweeps (0 = none)")
 
 		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
 	)
 	flag.Parse()
-	par.SetJobs(*jobs)
+	par.SetJobs(*jobsFlag)
+	if *checkpointDir != "" && *resumeDir != "" {
+		fail(fmt.Errorf("-checkpoint-dir and -resume are mutually exclusive (resume implies the checkpoint dir)"))
+	}
 	if *solveCacheDir != "" {
 		sc, err := solvecache.Open(*solveCacheDir)
 		if err != nil {
@@ -51,17 +60,50 @@ func main() {
 		return
 	}
 
-	// Ctrl-C cancels between simulations: experiments already printed
-	// stay on screen and the run stops at the next checkpoint instead of
-	// grinding through the rest of the grid.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// SIGINT/SIGTERM cancel between simulations with a typed cause:
+	// experiments already printed stay on screen, journaled sweeps flush
+	// a final checkpoint, and the process exits 130.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if sig, ok := <-sigc; ok {
+			cancel(&jobs.InterruptError{Sig: sig})
+		}
+	}()
 
 	suite, err := experiments.NewSuite(*accesses)
 	if err != nil {
 		fail(err)
 	}
 	suite.SetContext(ctx)
+
+	if *checkpointDir != "" || *resumeDir != "" {
+		// One journal covers every figure: the digest pins the array and
+		// memory configs plus the full scheme x workload universe, and
+		// each figure's sub-grid addresses cells by scheme/workload key.
+		dir, resume := *checkpointDir, false
+		if *resumeDir != "" {
+			dir, resume = *resumeDir, true
+		}
+		universe := make([]experiments.SimPair, 0)
+		for _, sc := range experiments.SchemeNames() {
+			for _, w := range experiments.Workloads() {
+				universe = append(universe, experiments.SimPair{Scheme: sc, Workload: w})
+			}
+		}
+		digest, err := suite.GridDigest(universe)
+		if err != nil {
+			fail(err)
+		}
+		eng, err := jobs.Open(jobs.Options{Dir: dir, Resume: resume, Digest: digest, CellTimeout: *cellTimeout})
+		if err != nil {
+			fail(err)
+		}
+		suite.SetEngine(eng)
+	}
 
 	var selected []experiments.Experiment
 	if *exp == "" {
@@ -77,6 +119,7 @@ func main() {
 	}
 
 	maps := map[string]bool{"fig4": true, "fig6": true, "fig11": true, "fig13": true}
+	partial := false
 	for _, e := range selected {
 		if *skipMaps && maps[e.ID] {
 			fmt.Printf("== %s: skipped (-skip-maps)\n\n", e.ID)
@@ -87,11 +130,21 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "figures: interrupted during %s; results above are partial\n", e.ID)
-				os.Exit(130)
+				os.Exit(jobs.ExitInterrupted)
+			}
+			if errors.Is(err, jobs.ErrQuarantined) {
+				// The rest of the grid finished; only this figure's
+				// rendering is blocked by its quarantined cell(s).
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
+				partial = true
+				continue
 			}
 			fail(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Printf("== %s (%s, %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
+	}
+	if partial {
+		os.Exit(jobs.ExitPartial)
 	}
 }
 

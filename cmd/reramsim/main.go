@@ -1,13 +1,21 @@
-// Command reramsim runs one memory-system simulation: a voltage-drop
-// mitigation scheme against a Table IV workload, reporting IPC, latency
+// Command reramsim runs memory-system simulations: voltage-drop
+// mitigation schemes against Table IV workloads, reporting IPC, latency
 // and energy.
 //
 // Usage:
 //
 //	reramsim -scheme UDRVR+PR -workload mcf_m -accesses 20000
+//	reramsim -scheme Base,UDRVR+PR -workload mcf_m,mil_m -json
 //	reramsim -scheme UDRVR+PR -workload mcf_m -metrics
 //	reramsim -scheme UDRVR+PR -workload mcf_m -trace-out events.jsonl
 //	reramsim -list
+//
+// Sweeps: comma-separated -scheme/-workload lists run the full cross
+// product. With -checkpoint-dir the sweep is crash-safe — every
+// finished cell is journaled, and -resume <dir> continues a killed run,
+// skipping journaled cells with byte-identical final output. Exit codes
+// follow the jobs contract: 0 complete, 3 partial (quarantined cells),
+// 130 interrupted (SIGINT/SIGTERM).
 //
 // Observability: -metrics dumps the metric registry after the run
 // (Prometheus-style text, or JSON with -metrics-format json), -trace-out
@@ -17,6 +25,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -24,10 +33,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
+	"reramsim/internal/jobs"
+	"reramsim/internal/memsys"
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
 	"reramsim/internal/solvecache"
@@ -36,8 +49,8 @@ import (
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "UDRVR+PR", "scheme name (see -list)")
-		workload = flag.String("workload", "mcf_m", "Table IV workload (see -list)")
+		scheme   = flag.String("scheme", "UDRVR+PR", "scheme name, or comma-separated list for a sweep (see -list)")
+		workload = flag.String("workload", "mcf_m", "Table IV workload, or comma-separated list for a sweep (see -list)")
 		accesses = flag.Int("accesses", 20000, "memory accesses simulated per core")
 		caches   = flag.Bool("caches", false, "route the address stream through L1/L2/L3 caches")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
@@ -49,7 +62,11 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 0, "fault generator seed (0 reuses -seed)")
 		maxRetries   = flag.Int("max-write-retries", 3, "write-verify retries before a cell is declared stuck")
 
-		jobs = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
+		jobsFlag = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "journal sweep cells to this directory (crash-safe; cold start)")
+		resumeDir     = flag.String("resume", "", "resume a journaled sweep from this checkpoint directory, skipping finished cells")
+		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell deadline in a sweep (0 = none); an exceeded cell is quarantined, not fatal")
 
 		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
 
@@ -65,9 +82,21 @@ func main() {
 		fmt.Println("workloads:", strings.Join(experiments.Workloads(), ", "))
 		return
 	}
-	validateName("scheme", *scheme, experiments.SchemeNames())
-	validateName("workload", *workload, experiments.Workloads())
+	schemes := splitList(*scheme)
+	workloads := splitList(*workload)
+	if len(schemes) == 0 || len(workloads) == 0 {
+		fail(fmt.Errorf("empty -scheme or -workload"))
+	}
+	for _, s := range schemes {
+		validateName("scheme", s, experiments.SchemeNames())
+	}
+	for _, w := range workloads {
+		validateName("workload", w, experiments.Workloads())
+	}
 	validateName("fault-profile", *faultProfile, fault.Profiles())
+	if *checkpointDir != "" && *resumeDir != "" {
+		fail(fmt.Errorf("-checkpoint-dir and -resume are mutually exclusive (resume implies the checkpoint dir)"))
+	}
 	if *maxRetries < 0 {
 		fail(fmt.Errorf("negative -max-write-retries %d", *maxRetries))
 	}
@@ -75,7 +104,7 @@ func main() {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
 	}
 
-	par.SetJobs(*jobs)
+	par.SetJobs(*jobsFlag)
 	if *solveCacheDir != "" {
 		sc, err := solvecache.Open(*solveCacheDir)
 		if err != nil {
@@ -109,10 +138,19 @@ func main() {
 		}()
 	}
 
-	// Ctrl-C cancels between simulations: the suite returns what it has
-	// instead of running the remaining work to completion.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// SIGINT/SIGTERM cancel between simulations with a typed cause: the
+	// suite returns what it has, the sweep journal flushes its final
+	// checkpoint, and the process exits 130.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if sig, ok := <-sigc; ok {
+			cancel(&jobs.InterruptError{Sig: sig})
+		}
+	}()
 
 	suite, err := experiments.NewSuite(*accesses)
 	if err != nil {
@@ -125,12 +163,27 @@ func main() {
 	suite.MemCfg.FaultSeed = *faultSeed
 	suite.MemCfg.MaxWriteRetries = *maxRetries
 
-	sc, err := suite.Scheme(*scheme)
+	if len(schemes) > 1 || len(workloads) > 1 || *checkpointDir != "" || *resumeDir != "" {
+		code := runSweep(suite, schemes, workloads, sweepOptions{
+			checkpointDir: *checkpointDir,
+			resumeDir:     *resumeDir,
+			cellTimeout:   *cellTimeout,
+			jsonOut:       *jsonOut,
+		})
+		dumpMetrics(*metrics, *metricsFmt)
+		os.Exit(code)
+	}
+
+	sc, err := suite.Scheme(schemes[0])
 	if err != nil {
 		fail(err)
 	}
-	res, err := suite.Sim(*scheme, *workload)
+	res, err := suite.Sim(schemes[0], workloads[0])
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "reramsim: interrupted")
+			os.Exit(jobs.ExitInterrupted)
+		}
 		fail(err)
 	}
 
@@ -198,6 +251,117 @@ func main() {
 		fmt.Printf("lifetime    %.2f years under worst-case non-stop writes\n", years)
 	}
 	dumpMetrics(*metrics, *metricsFmt)
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+type sweepOptions struct {
+	checkpointDir string
+	resumeDir     string
+	cellTimeout   time.Duration
+	jsonOut       bool
+}
+
+// runSweep executes the schemes x workloads grid through the crash-safe
+// jobs engine and renders the cells in grid order — from the journal
+// payloads, so a resumed run's output is byte-identical to an
+// uninterrupted one and quarantined cells are never silently re-run.
+// The returned exit code follows the jobs contract.
+func runSweep(suite *experiments.Suite, schemes, workloads []string, o sweepOptions) int {
+	pairs := make([]experiments.SimPair, 0, len(schemes)*len(workloads))
+	for _, sc := range schemes {
+		for _, w := range workloads {
+			pairs = append(pairs, experiments.SimPair{Scheme: sc, Workload: w})
+		}
+	}
+	digest, err := suite.GridDigest(pairs)
+	if err != nil {
+		fail(err)
+	}
+	dir, resume := o.checkpointDir, false
+	if o.resumeDir != "" {
+		dir, resume = o.resumeDir, true
+	}
+	eng, err := jobs.Open(jobs.Options{
+		Dir:          dir,
+		Resume:       resume,
+		Digest:       digest,
+		CellTimeout:  o.cellTimeout,
+		TestPanicKey: os.Getenv("RERAMSIM_PANIC_CELL"),
+	})
+	if err != nil {
+		fail(err)
+	}
+	suite.SetEngine(eng)
+	rep, runErr := suite.RunGrid(eng, pairs)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "reramsim:", runErr)
+		return rep.ExitCode(runErr)
+	}
+	quar := make(map[string]jobs.CellFailure, len(rep.Quarantined))
+	for _, q := range rep.Quarantined {
+		quar[q.Key] = q
+	}
+
+	if o.jsonOut {
+		type quarOut struct {
+			Reason string `json:"reason"`
+			Error  string `json:"error"`
+		}
+		type cellOut struct {
+			Scheme      string          `json:"scheme"`
+			Workload    string          `json:"workload"`
+			Result      json.RawMessage `json:"result,omitempty"`
+			Quarantined *quarOut        `json:"quarantined,omitempty"`
+		}
+		cells := make([]cellOut, 0, len(pairs))
+		for _, p := range pairs {
+			key := p.Scheme + "/" + p.Workload
+			c := cellOut{Scheme: p.Scheme, Workload: p.Workload}
+			if payload, ok := rep.Done[key]; ok {
+				c.Result = json.RawMessage(payload)
+			} else if q, ok := quar[key]; ok {
+				c.Quarantined = &quarOut{Reason: q.Reason, Error: q.Err.Error()}
+			}
+			cells = append(cells, c)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"cells": cells}); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("%-14s %-10s %8s %9s %9s %12s\n", "scheme", "workload", "IPC", "reads", "writes", "energy(J)")
+		for _, p := range pairs {
+			key := p.Scheme + "/" + p.Workload
+			if payload, ok := rep.Done[key]; ok {
+				var r memsys.Result
+				if err := json.Unmarshal(payload, &r); err != nil {
+					fail(fmt.Errorf("decoding cell %s: %w", key, err))
+				}
+				fmt.Printf("%-14s %-10s %8.3f %9d %9d %12.4g\n",
+					p.Scheme, p.Workload, r.IPC, r.Reads, r.Writes, r.Energy.Total())
+			} else if q, ok := quar[key]; ok {
+				fmt.Printf("%-14s %-10s QUARANTINED (%s)\n", p.Scheme, p.Workload, q.Reason)
+			}
+		}
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "reramsim: quarantined %s (%s): %v\n", q.Key, q.Reason, q.Err)
+	}
+	if len(rep.Stalled) > 0 {
+		fmt.Fprintf(os.Stderr, "reramsim: watchdog flagged stalled cell(s): %s\n", strings.Join(rep.Stalled, ", "))
+	}
+	return rep.ExitCode(nil)
 }
 
 // validateName exits with a "did you mean ...?" error when name is not

@@ -1,0 +1,65 @@
+// Package atomicio is the crash-safe file-write primitive shared by the
+// persistent solve cache and the jobs run journal: data is written to a
+// temp file in the destination directory and renamed over the target, so
+// a reader (or a process that crashes mid-write) never observes a torn
+// file.
+//
+// Temp names embed the writer's pid and a process-local counter, so any
+// number of processes can write into one directory concurrently without
+// ever racing on a shared temp path — two writers of the same key simply
+// rename their own complete blobs, and the directory ends up with one of
+// them (rename is atomic on POSIX).
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// seq disambiguates concurrent writers inside one process.
+var seq atomic.Uint64
+
+// TempName returns a directory-local temp file name that is unique across
+// processes (pid) and within this process (counter). The leading dot keeps
+// half-written blobs out of glob scans of the directory.
+func TempName(base string) string {
+	return fmt.Sprintf(".%s.%d.%d.tmp", base, os.Getpid(), seq.Add(1))
+}
+
+// WriteFile atomically creates or replaces dir/name with data.
+func WriteFile(dir, name string, data []byte, perm os.FileMode) error {
+	return write(dir, name, data, perm, false)
+}
+
+// WriteFileSync is WriteFile plus an fsync of the temp file before the
+// rename, for writers (the jobs journal) that must survive power loss,
+// not just process death.
+func WriteFileSync(dir, name string, data []byte, perm os.FileMode) error {
+	return write(dir, name, data, perm, true)
+}
+
+func write(dir, name string, data []byte, perm os.FileMode, sync bool) error {
+	tmp := filepath.Join(dir, TempName(name))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil && sync {
+		werr = f.Sync()
+	}
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
+}

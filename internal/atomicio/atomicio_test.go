@@ -1,0 +1,97 @@
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		want := []byte(fmt.Sprintf("payload %d", i))
+		if err := WriteFile(dir, "key.bin", want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "key.bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: got %q want %q", i, got, want)
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+}
+
+func TestTempNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		n := TempName("x")
+		if seen[n] {
+			t.Fatalf("duplicate temp name %q", n)
+		}
+		if !strings.HasPrefix(n, ".x.") {
+			t.Fatalf("temp name %q does not embed the base name", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestConcurrentWritersOneKey hammers one target name from many
+// goroutines: every observed file content must be one writer's complete
+// payload, never a mix, and no temp litter may survive.
+func TestConcurrentWritersOneKey(t *testing.T) {
+	dir := t.TempDir()
+	const writers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + w)}, 4096)
+			for r := 0; r < rounds; r++ {
+				if err := WriteFileSync(dir, "hot.bin", payload, 0o644); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := os.ReadFile(filepath.Join(dir, "hot.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("torn write: %d bytes", len(got))
+	}
+	for _, b := range got {
+		if b != got[0] {
+			t.Fatalf("mixed payloads in final file")
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, ".*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "nope"), "k", []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}

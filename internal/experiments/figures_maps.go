@@ -43,15 +43,18 @@ func (s *Suite) Fig1e() (string, error) {
 }
 
 // schemeMaps renders the effective-Vrst, latency and endurance surfaces
-// of a scheme (the Fig. 4/6/11/13 triptychs).
+// of a scheme (the Fig. 4/6/11/13 triptychs). Sampling follows the
+// suite's cancellation context, so an interrupted run aborts mid-map
+// instead of solving the remaining blocks.
 func (s *Suite) schemeMaps(scheme string, withEff, withLat, withEnd bool) (string, error) {
 	sc, err := s.Scheme(scheme)
 	if err != nil {
 		return "", err
 	}
+	ctx := s.Context()
 	var b strings.Builder
 	if withEff {
-		m, err := sc.EffectiveVrstMap(MapBlocks)
+		m, err := sc.EffectiveVrstMapCtx(ctx, MapBlocks)
 		if err != nil {
 			return "", err
 		}
@@ -60,7 +63,7 @@ func (s *Suite) schemeMaps(scheme string, withEff, withLat, withEnd bool) (strin
 			m.Values, func(v float64) string { return fmt.Sprintf("%.3f", v) }))
 	}
 	if withLat {
-		m, err := sc.LatencyMap(MapBlocks)
+		m, err := sc.LatencyMapCtx(ctx, MapBlocks)
 		if err != nil {
 			return "", err
 		}
@@ -74,7 +77,7 @@ func (s *Suite) schemeMaps(scheme string, withEff, withLat, withEnd bool) (strin
 			}))
 	}
 	if withEnd {
-		m, err := sc.EnduranceMap(MapBlocks)
+		m, err := sc.EnduranceMapCtx(ctx, MapBlocks)
 		if err != nil {
 			return "", err
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -212,7 +213,7 @@ func TestVariantInheritsMemCfg(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.MemCfg != s.MemCfg {
+	if !reflect.DeepEqual(v.MemCfg, s.MemCfg) {
 		t.Errorf("variant MemCfg = %+v\nparent MemCfg = %+v", v.MemCfg, s.MemCfg)
 	}
 }

@@ -7,9 +7,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"reramsim/internal/core"
+	"reramsim/internal/jobs"
 	"reramsim/internal/memsys"
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
@@ -44,6 +46,14 @@ type Suite struct {
 
 	// variant suites for the sweep figures (array size, node, Kr).
 	variants map[string]*Suite
+
+	// engine, when attached, makes PrimeSims run grids as crash-safe
+	// journaled jobs (internal/jobs): completed cells are checkpointed,
+	// resumed runs skip them, and panics quarantine a cell instead of
+	// failing the sweep. Only the root suite carries an engine — variant
+	// sub-suites simulate under different array configs but share cell
+	// keys, so routing them through the same journal would collide.
+	engine *jobs.Engine
 
 	// Per-key in-flight tracking: a second caller that misses a cache
 	// while the first caller is still computing the same key waits for
@@ -177,6 +187,15 @@ func (s *Suite) Scheme(name string) (*core.Scheme, error) {
 // the second waits for the first result instead of running the
 // simulation twice.
 func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
+	return s.SimContext(s.Context(), scheme, workload)
+}
+
+// SimContext is Sim under an explicit context: the run is skipped when
+// ctx is already cancelled, and a jobs heartbeat carried by ctx (the
+// engine's stall watchdog) is wired into the simulation's event loop.
+// Concurrent callers for one key still share a single execution; the
+// first caller's context governs that execution.
+func (s *Suite) SimContext(ctx context.Context, scheme, workload string) (*memsys.Result, error) {
 	key := scheme + "/" + workload
 	s.mu.Lock()
 	r, ok := s.sims[key]
@@ -185,7 +204,7 @@ func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 		return r, nil
 	}
 	r, _, err := s.simFlight.Do(key, func() (*memsys.Result, error) {
-		return s.runSim(key, scheme, workload)
+		return s.runSim(ctx, key, scheme, workload)
 	})
 	return r, err
 }
@@ -194,14 +213,17 @@ func (s *Suite) Sim(scheme, workload string) (*memsys.Result, error) {
 // observability on, its exact metric snapshot). It re-checks the cache
 // first: a caller that missed the cache may enter a fresh flight only
 // after the previous flight for the same key already stored its result.
-func (s *Suite) runSim(key, scheme, workload string) (*memsys.Result, error) {
+func (s *Suite) runSim(ctx context.Context, key, scheme, workload string) (*memsys.Result, error) {
 	s.mu.Lock()
 	r, ok := s.sims[key]
 	s.mu.Unlock()
 	if ok {
 		return r, nil
 	}
-	if err := s.Context().Err(); err != nil {
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
 	}
 	sc, err := s.Scheme(scheme)
@@ -212,6 +234,10 @@ func (s *Suite) runSim(key, scheme, workload string) (*memsys.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mc := s.MemCfg
+	// Feed the stall watchdog from inside the event loop when this run is
+	// an engine cell; Heartbeat never influences results.
+	mc.Heartbeat = jobs.HeartbeatFunc(ctx)
 
 	var snap obs.Snapshot
 	capture := obs.Enabled()
@@ -220,9 +246,9 @@ func (s *Suite) runSim(key, scheme, workload string) (*memsys.Result, error) {
 		// process-wide, so the delta holds this run's counts and nothing
 		// else. The price is that instrumented simulations run one at a
 		// time; without -metrics (the fast path) sims stay fully parallel.
-		snap = obs.Capture(func() { r, err = memsys.Simulate(sc, b, s.MemCfg) })
+		snap = obs.Capture(func() { r, err = memsys.Simulate(sc, b, mc) })
 	} else {
-		r, err = memsys.Simulate(sc, b, s.MemCfg)
+		r, err = memsys.Simulate(sc, b, mc)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
@@ -260,11 +286,44 @@ func crossPairs(schemes, workloads []string) []SimPair {
 // rendered output is byte-identical to a fully serial (-jobs=1) run
 // while the simulations themselves use every worker. Duplicate pairs
 // collapse onto one execution via the per-key in-flight tracking.
+//
+// With an engine attached (SetEngine), the grid instead runs as
+// crash-safe journaled jobs: completed cells checkpoint to disk, a
+// resumed engine serves them without re-simulating, and a quarantined
+// cell (panic/timeout/exhausted retries) yields an error wrapping
+// jobs.ErrQuarantined after the rest of the grid finishes.
 func (s *Suite) PrimeSims(pairs []SimPair) error {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng != nil {
+		rep, err := s.RunGrid(eng, pairs)
+		if err != nil {
+			return err
+		}
+		if !rep.Complete() {
+			keys := make([]string, len(rep.Quarantined))
+			for i, q := range rep.Quarantined {
+				keys[i] = q.Key
+			}
+			return fmt.Errorf("experiments: %d cell(s) quarantined (%s): %w",
+				len(keys), strings.Join(keys, ", "), jobs.ErrQuarantined)
+		}
+		return nil
+	}
 	return par.ForEach(s.Context(), len(pairs), func(i int) error {
 		_, err := s.Sim(pairs[i].Scheme, pairs[i].Workload)
 		return err
 	})
+}
+
+// SetEngine attaches a jobs engine: subsequent PrimeSims calls run
+// their grids through it (journaled, resumable, panic-isolated). Pass
+// nil to detach. Variant sub-suites never inherit the engine.
+func (s *Suite) SetEngine(eng *jobs.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine = eng
 }
 
 // Metrics returns the observability snapshot captured for a cached

@@ -1,0 +1,46 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalDecode: decodeSegment must never panic, and whatever
+// records it does return must be internally consistent — on truncated,
+// bit-flipped or arbitrary input alike.
+func FuzzJournalDecode(f *testing.F) {
+	good := encodeSegment([]record{
+		{kind: recCompleted, key: "UDRVR+PR/mcf_m", data: []byte(`{"IPC":3.25}`)},
+		{kind: recQuarantined, key: "Base/mil_m", data: []byte(`{"Reason":"panic","Error":"x"}`)},
+	})
+	f.Add(good)
+	f.Add(good[:len(good)/2])           // truncated mid-payload
+	f.Add(good[:segHeaderSize])         // header only
+	f.Add([]byte{})                     // empty
+	f.Add([]byte("RSJL garbage"))       // magic then junk
+	f.Add(bytes.Repeat([]byte{0}, 128)) // zeros
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-3] ^= 0x40
+	f.Add(flip) // bit-flipped payload
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		recs, err := decodeSegment(blob)
+		for _, r := range recs {
+			if r.kind != recCompleted && r.kind != recQuarantined {
+				t.Fatalf("decoded record with invalid kind %d", r.kind)
+			}
+		}
+		// A cleanly decoded segment must re-encode to an equivalent one.
+		if err == nil && len(recs) > 0 {
+			recs2, err2 := decodeSegment(encodeSegment(recs))
+			if err2 != nil || len(recs2) != len(recs) {
+				t.Fatalf("re-encode round trip failed: %v (%d vs %d records)", err2, len(recs2), len(recs))
+			}
+			for i := range recs {
+				if recs[i].kind != recs2[i].kind || recs[i].key != recs2[i].key || !bytes.Equal(recs[i].data, recs2[i].data) {
+					t.Fatalf("record %d changed across round trip", i)
+				}
+			}
+		}
+	})
+}

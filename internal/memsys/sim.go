@@ -290,8 +290,16 @@ func (s *sim) mapLine(line uint64, isWrite bool) (bank, rank, row, offset int, p
 	return bank, rank, row, offset, phys
 }
 
+// heartbeatEvery spaces Heartbeat calls so the hook costs one branch
+// per event and a call only every few thousand events.
+const heartbeatEvery = 4096
+
 func (s *sim) run() error {
+	var processed int
 	for s.events.Len() > 0 {
+		if processed++; processed%heartbeatEvery == 0 && s.cfg.Heartbeat != nil {
+			s.cfg.Heartbeat()
+		}
 		e := heap.Pop(&s.events).(event)
 		if e.t > s.endTime {
 			s.endTime = e.t

@@ -12,7 +12,9 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +52,47 @@ func Jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a panic that escaped a ForEach task, converted into an
+// ordinary error so one exploding item aborts its batch instead of
+// crashing the whole process. Callers that quarantine individual items
+// (the jobs engine) unwrap it with errors.As.
+type PanicError struct {
+	Index int    // item index whose fn panicked
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack captured at the recovery point
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
+}
+
+// runTask executes fn(i), converting a panic into a *PanicError.
+func runTask(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// cancelErr reports a batch stopped by its context. The returned error
+// wraps context.Cause(ctx) — the deadline error, the SIGINT cause
+// installed by the CLI, or whatever a caller passed to its cancel
+// function — so callers can tell those apart from a real worker error
+// while errors.Is(err, context.Canceled/DeadlineExceeded) keeps working.
+func cancelErr(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = err
+	}
+	return fmt.Errorf("par: batch cancelled: %w", cause)
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to Jobs() workers.
 //
 // Determinism: items are identified by index, so callers that write
@@ -57,8 +100,10 @@ func Jobs() int {
 // independent of scheduling. When several items fail, the error of the
 // lowest index that actually ran is returned; once any item fails (or
 // ctx is cancelled) no new items are dispatched, but in-flight items
-// finish. With one worker the items run inline, in order, on the
-// calling goroutine — exactly the serial loop it replaces.
+// finish. A panic inside fn surfaces as a *PanicError for its index.
+// Cancellation surfaces as an error wrapping context.Cause(ctx). With
+// one worker the items run inline, in order, on the calling goroutine —
+// exactly the serial loop it replaces.
 func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -76,11 +121,11 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := cancelErr(ctx); err != nil {
 				return err
 			}
 			obsTasks.Inc()
-			if errs[i] = fn(i); errs[i] != nil {
+			if errs[i] = runTask(fn, i); errs[i] != nil {
 				return errs[i]
 			}
 		}
@@ -108,7 +153,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 				}
 				obsInflightMax.SetMax(float64(inflight.Add(1)))
 				obsTasks.Inc()
-				err := fn(i)
+				err := runTask(fn, i)
 				inflight.Add(-1)
 				if err != nil {
 					errs[i] = err
@@ -129,7 +174,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	// Cancellation may have stopped dispatch before every item ran; only
 	// a complete batch reports success.
 	if int(done.Load()) < n {
-		return ctx.Err()
+		return cancelErr(ctx)
 	}
 	return nil
 }

@@ -226,3 +226,56 @@ func TestGroupPropagatesError(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+// TestForEachPanicBecomesError: a panicking task must surface as a typed
+// *PanicError (with the item index and a captured stack) instead of
+// crashing the process, at any worker count.
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		SetJobs(jobs)
+		err := ForEach(context.Background(), 8, func(i int) error {
+			if i == 3 {
+				panic("boom")
+			}
+			return nil
+		})
+		SetJobs(0)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: err = %v, want *PanicError", jobs, err)
+		}
+		if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("jobs=%d: PanicError = index %d value %v stack %d bytes",
+				jobs, pe.Index, pe.Value, len(pe.Stack))
+		}
+	}
+}
+
+// TestForEachCancelCause: cancellation must wrap context.Cause, so a
+// caller can distinguish a SIGINT-style custom cause (and a deadline)
+// from a worker error, while errors.Is(err, context.Canceled) still
+// holds for a plain cancel.
+func TestForEachCancelCause(t *testing.T) {
+	cause := errors.New("operator interrupt")
+	for _, jobs := range []int{1, 4} {
+		SetJobs(jobs)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cancel(cause)
+		err := ForEach(ctx, 4, func(i int) error { return nil })
+		SetJobs(0)
+		if !errors.Is(err, cause) {
+			t.Fatalf("jobs=%d: err = %v, want wrapped cause %v", jobs, err, cause)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("jobs=%d: custom cause misreported as deadline", jobs)
+		}
+	}
+
+	// A deadline surfaces as context.DeadlineExceeded via the cause.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if err := ForEach(ctx, 4, func(i int) error { return nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -9,9 +9,10 @@
 //
 // The cache is strictly best-effort: a nil *Cache, a missing directory,
 // a truncated file, a checksum mismatch or a stale schema version all
-// degrade to a miss, and the caller re-solves live. Writes go through a
-// temp file + rename so concurrent processes sharing a directory never
-// observe a torn entry.
+// degrade to a miss, and the caller re-solves live. Writes go through
+// internal/atomicio (per-process-unique temp file + rename), so any
+// number of processes sharing a directory never observe a torn entry or
+// race on a common temp path.
 package solvecache
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"reramsim/internal/atomicio"
 	"reramsim/internal/obs"
 )
 
@@ -106,9 +108,11 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put stores payload under key atomically (temp file + rename). Errors
-// are swallowed after counting: a read-only or full disk turns the cache
-// off, it never turns the run into a failure.
+// Put stores payload under key atomically (per-process-unique temp file
+// + rename via internal/atomicio, so two processes hammering one
+// directory never collide on a temp path). Errors are swallowed after
+// counting: a read-only or full disk turns the cache off, it never turns
+// the run into a failure.
 func (c *Cache) Put(key string, payload []byte) {
 	if c == nil {
 		return
@@ -121,21 +125,7 @@ func (c *Cache) Put(key string, payload []byte) {
 	copy(blob[16:headerSize], sum[:])
 	copy(blob[headerSize:], payload)
 
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
-		obsErrors.Inc()
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(blob)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		obsErrors.Inc()
-		return
-	}
-	if err := os.Rename(name, c.path(key)); err != nil {
-		os.Remove(name)
+	if err := atomicio.WriteFile(c.dir, key+".bin", blob, 0o644); err != nil {
 		obsErrors.Inc()
 		return
 	}

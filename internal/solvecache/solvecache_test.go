@@ -3,8 +3,11 @@ package solvecache
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -135,4 +138,116 @@ func TestNoTempLeftovers(t *testing.T) {
 	if len(ents) != 1 {
 		t.Fatalf("expected exactly the entry file, found %d files", len(ents))
 	}
+}
+
+// hammerCache is the body of one writer process in the two-process
+// hammer: it re-Puts every key with its own distinctive payload as fast
+// as it can, and verifies that every Get observes some writer's complete
+// payload — never a torn or mixed one.
+func hammerCache(dir, tag string, rounds int) error {
+	c, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < 8; k++ {
+			key := fmt.Sprintf("shared-%d", k)
+			c.Put(key, bytes.Repeat([]byte(tag), 512))
+			got, ok := c.Get(key)
+			if !ok {
+				continue // concurrent rename window: a miss is legal, a torn read is not
+			}
+			if len(got) != 512 {
+				return fmt.Errorf("%s: key %s: torn payload of %d bytes", tag, key, len(got))
+			}
+			for _, b := range got {
+				if b != got[0] {
+					return fmt.Errorf("%s: key %s: mixed payload", tag, key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestSolveCacheHelperWriter is not a real test: TestTwoProcessHammer
+// re-execs the test binary with SOLVECACHE_HAMMER_DIR set so two actual
+// OS processes (distinct pids, hence distinct atomicio temp names)
+// pound on one cache directory.
+func TestSolveCacheHelperWriter(t *testing.T) {
+	dir := os.Getenv("SOLVECACHE_HAMMER_DIR")
+	if dir == "" {
+		t.Skip("helper process entry point; driven by TestTwoProcessHammer")
+	}
+	if err := hammerCache(dir, os.Getenv("SOLVECACHE_HAMMER_TAG"), 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcessHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns two child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("cannot locate test binary:", err)
+	}
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 2)
+	errs := make([]error, 2)
+	for i, tag := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(i int, tag string) {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run", "TestSolveCacheHelperWriter", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"SOLVECACHE_HAMMER_DIR="+dir, "SOLVECACHE_HAMMER_TAG="+tag)
+			cmd.Stdout = &outs[i]
+			cmd.Stderr = &outs[i]
+			errs[i] = cmd.Run()
+		}(i, tag)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("writer process %d failed: %v\n%s", i, errs[i], outs[i].String())
+		}
+	}
+	// After both writers exit, every shared key must hold one complete
+	// 512-byte payload.
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		got, ok := c.Get(fmt.Sprintf("shared-%d", k))
+		if !ok || len(got) != 512 {
+			t.Fatalf("key shared-%d: ok=%v len=%d", k, ok, len(got))
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp litter after hammer: %v", left)
+	}
+}
+
+// TestInProcessHammer runs the same contention pattern on goroutines so
+// `go test -race` inspects the in-process side of the write path.
+func TestInProcessHammer(t *testing.T) {
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := hammerCache(dir, string(rune('a'+w)), 50); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

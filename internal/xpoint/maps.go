@@ -89,7 +89,14 @@ func SingleBitOp(volts VoltsFunc) OpFunc {
 // EffectiveVrstMap samples the effective RESET voltage over the array at
 // blocks x blocks granularity under op (Fig. 4b / 6b / 11b).
 func (a *Array) EffectiveVrstMap(blocks int, op OpFunc) (*Map, error) {
-	return a.sampleMap(blocks, op, func(res *ResetResult, k int) float64 {
+	return a.EffectiveVrstMapCtx(context.Background(), blocks, op)
+}
+
+// EffectiveVrstMapCtx is EffectiveVrstMap under a cancellation context:
+// an aborted run (SIGINT/SIGTERM, engine shutdown) stops mid-map instead
+// of solving the remaining blocks.
+func (a *Array) EffectiveVrstMapCtx(ctx context.Context, blocks int, op OpFunc) (*Map, error) {
+	return a.sampleMap(ctx, blocks, op, func(res *ResetResult, k int) float64 {
 		return res.Veff[k]
 	})
 }
@@ -97,7 +104,12 @@ func (a *Array) EffectiveVrstMap(blocks int, op OpFunc) (*Map, error) {
 // LatencyMap samples the per-cell RESET latency (Fig. 4c / 6c / 11c /
 // 13a). Failed writes appear as +Inf.
 func (a *Array) LatencyMap(blocks int, op OpFunc) (*Map, error) {
-	return a.sampleMap(blocks, op, func(res *ResetResult, k int) float64 {
+	return a.LatencyMapCtx(context.Background(), blocks, op)
+}
+
+// LatencyMapCtx is LatencyMap under a cancellation context.
+func (a *Array) LatencyMapCtx(ctx context.Context, blocks int, op OpFunc) (*Map, error) {
+	return a.sampleMap(ctx, blocks, op, func(res *ResetResult, k int) float64 {
 		return a.cfg.Params.ResetLatency(res.Veff[k])
 	})
 }
@@ -105,12 +117,17 @@ func (a *Array) LatencyMap(blocks int, op OpFunc) (*Map, error) {
 // EnduranceMap samples the per-cell write endurance (Fig. 4d / 6d / 11d /
 // 13b).
 func (a *Array) EnduranceMap(blocks int, op OpFunc) (*Map, error) {
-	return a.sampleMap(blocks, op, func(res *ResetResult, k int) float64 {
+	return a.EnduranceMapCtx(context.Background(), blocks, op)
+}
+
+// EnduranceMapCtx is EnduranceMap under a cancellation context.
+func (a *Array) EnduranceMapCtx(ctx context.Context, blocks int, op OpFunc) (*Map, error) {
+	return a.sampleMap(ctx, blocks, op, func(res *ResetResult, k int) float64 {
 		return a.cfg.Params.EnduranceAtVoltage(res.Veff[k])
 	})
 }
 
-func (a *Array) sampleMap(blocks int, op OpFunc, metric func(*ResetResult, int) float64) (*Map, error) {
+func (a *Array) sampleMap(ctx context.Context, blocks int, op OpFunc, metric func(*ResetResult, int) float64) (*Map, error) {
 	if blocks <= 0 || blocks > a.cfg.Size || a.cfg.Size%blocks != 0 {
 		return nil, fmt.Errorf("xpoint: %d blocks incompatible with array size %d", blocks, a.cfg.Size)
 	}
@@ -122,7 +139,17 @@ func (a *Array) sampleMap(blocks int, op OpFunc, metric func(*ResetResult, int) 
 	// Every block sample is an independent nonlinear solve writing one
 	// fixed slot Values[i][j], so the blocks*blocks grid fans out on the
 	// worker pool; see DESIGN.md §9 for why this cannot change results.
-	err := par.ForEach(context.Background(), blocks*blocks, func(idx int) error {
+	err := par.ForEach(ctx, blocks*blocks, func(idx int) error {
+		// Re-check cancellation inside the block loop: a worker that
+		// already claimed an index aborts before its (milliseconds-scale)
+		// nonlinear solve, so shutdown is prompt mid-block, not just
+		// between dispatch rounds.
+		if err := ctx.Err(); err != nil {
+			if cause := context.Cause(ctx); cause != nil {
+				return cause
+			}
+			return err
+		}
 		i, j := idx/blocks, idx%blocks
 		row := i*b + b/2
 		col := j*b + b/2

@@ -1,7 +1,10 @@
 package xpoint
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"reramsim/internal/par"
@@ -163,4 +166,37 @@ func TestCalibrateLatencyRejectsBadAnchors(t *testing.T) {
 	if _, err := CalibrateLatency(cfg, 0, 1e-6); err == nil {
 		t.Error("zero anchor accepted")
 	}
+}
+
+// TestSampleMapCancellation: a cancelled context must abort map sampling
+// promptly with the cancellation cause, at serial and parallel settings.
+func TestSampleMapCancellation(t *testing.T) {
+	arr, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("shutdown requested")
+	for _, jobs := range []int{1, 4} {
+		par.SetJobs(jobs)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cancel(cause)
+		_, err := arr.EffectiveVrstMapCtx(ctx, 8, SingleBitOp(ConstVolts(3.0)))
+		par.SetJobs(0)
+		if !errors.Is(err, cause) {
+			t.Fatalf("jobs=%d: err = %v, want wrapped cause", jobs, err)
+		}
+	}
+
+	// Mid-run cancellation: cancel from inside the first sampled block;
+	// the map must come back with an error, not hang or complete.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var once sync.Once
+	op := func(row, col int) ResetOp {
+		once.Do(func() { cancel(cause) })
+		return ResetOp{Row: row, Cols: []int{col}, Volts: []float64{3.0}}
+	}
+	if _, err := arr.EffectiveVrstMapCtx(ctx, 8, op); !errors.Is(err, cause) {
+		t.Fatalf("mid-run cancel: err = %v, want wrapped cause", err)
+	}
+	cancel(nil)
 }
