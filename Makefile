@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par test-resume vuln bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry vuln bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par test-resume bench-guard vuln
+ci: fmt vet build test race-fault race-par test-resume test-telemetry bench-guard vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,6 +44,16 @@ test-resume:
 	$(GO) test -race -run 'TestResume|TestPrimeSimsQuarantine|TestGridDigest' ./internal/experiments/
 	$(GO) test -run 'TestQuarantineExitCodeSmoke|TestSigtermResumeByteIdentical' ./cmd/reramsim/
 
+# The live telemetry plane under the race detector — the lock-free
+# /metrics snapshot hammered against running sweeps and Capture windows,
+# the span collector, the /progress export — plus the CLI e2e smoke
+# (sweep with -obs-addr: mid-run scrapes, SSE progress advancing, and a
+# Perfetto-loadable -trace-spans file on exit 0).
+test-telemetry:
+	$(GO) test -race ./internal/telemetry/ ./internal/obs/
+	$(GO) test -race -run 'TestSweepSpan|TestProgress' ./internal/experiments/ ./internal/jobs/
+	$(GO) test -run 'TestTelemetryE2ESmoke' ./cmd/reramsim/
+
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -54,14 +64,17 @@ vuln:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The steady-state allocation guard: SimulateResetInto must stay at
-# 0 allocs/op (the benchmark itself fails otherwise), run briefly as part
-# of ci.
+# The allocation guards: steady-state SimulateResetInto and disabled
+# spans must both stay at 0 allocs/op (the benchmarks themselves fail
+# otherwise), run briefly as part of ci.
 bench-guard:
-	$(GO) test -run xxx -bench BenchmarkResetOpSteadyState -benchtime 100x -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkResetOpSteadyState|BenchmarkSpanDisabled' -benchtime 100x -benchmem .
 
-# Machine-readable micro-benchmark snapshot for the perf trajectory.
+# Machine-readable micro-benchmark snapshot for the perf trajectory:
+# the PR4 solver/cost baselines (steady-state ResetOp regressions show
+# up against BENCH_PR4.json) plus the PR6 telemetry overheads (span
+# on/off, /metrics scrape render).
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel' \
-		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+	$(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape' \
+		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"

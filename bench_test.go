@@ -8,7 +8,9 @@ package reramsim
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -258,6 +260,73 @@ func BenchmarkObsEnabled(b *testing.B) {
 			b.Fatal(err)
 		}
 		stop()
+	}
+}
+
+// BenchmarkSpanDisabled guards the span off switch: with no sink
+// installed, StartSpan and SpanScope on an instrumented hot path must
+// be a single atomic load each — zero allocations per op. The guard
+// fails the benchmark (and make ci) if the disabled path regresses.
+func BenchmarkSpanDisabled(b *testing.B) {
+	obs.SetSpanSink(nil)
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(100, func() {
+		sctx, stop := obs.StartSpan(ctx, "bench.span")
+		obs.SpanScope("bench.scope")()
+		stop()
+		_ = sctx
+	}); avg > 0 {
+		b.Fatalf("disabled spans allocate %.1f times/op, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stop := obs.StartSpan(ctx, "bench.span")
+		obs.SpanScope("bench.scope")()
+		stop()
+	}
+}
+
+// BenchmarkSpanEnabled is the companion measurement with a discarding
+// sink installed, quantifying the full span cost (goroutine-id lookup,
+// node allocation, stack upkeep, emission).
+func BenchmarkSpanEnabled(b *testing.B) {
+	obs.SetSpanSink(obs.NopSpanSink{})
+	defer obs.SetSpanSink(nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sctx, stop := obs.StartSpan(ctx, "bench.span")
+		obs.SpanScope("bench.scope")()
+		stop()
+		_ = sctx
+	}
+}
+
+// BenchmarkMetricsScrape measures one /metrics render — the lock-free
+// registry snapshot plus the Prometheus text encoding — over a registry
+// populated like a mid-sweep scrape (counters, gauges and histograms).
+func BenchmarkMetricsScrape(b *testing.B) {
+	obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Default().ResetValues()
+	}()
+	for i := 0; i < 32; i++ {
+		obs.C(fmt.Sprintf("bench.scrape.counter_%d", i)).Add(uint64(i))
+		obs.G(fmt.Sprintf("bench.scrape.gauge_%d", i)).Set(float64(i))
+	}
+	h := obs.H("bench.scrape.hist", obs.LatencyBoundsNS())
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i * 1000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.Default().Snapshot().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

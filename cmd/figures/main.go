@@ -22,9 +22,16 @@ import (
 	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/jobs"
+	"reramsim/internal/obs"
 	"reramsim/internal/par"
 	"reramsim/internal/solvecache"
+	"reramsim/internal/telemetry"
 )
+
+// cleanup tears the observability stack down before the process exits;
+// os.Exit skips deferred calls, so every exit path routes through it
+// (it is idempotent). Installed in main once the stack is up.
+var cleanup = func() {}
 
 func main() {
 	var (
@@ -39,6 +46,9 @@ func main() {
 		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell deadline for journaled sweeps (0 = none)")
 
 		solveCacheDir = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled); results are identical with or without it")
+
+		obsAddr    = flag.String("obs-addr", "", "serve live telemetry (/metrics, /healthz, /readyz, /progress, /debug/pprof/) on this address (e.g. localhost:6060)")
+		traceSpans = flag.String("trace-spans", "", "write hierarchical spans as a Chrome trace-event file (load in ui.perfetto.dev)")
 	)
 	flag.Parse()
 	par.SetJobs(*jobsFlag)
@@ -59,6 +69,20 @@ func main() {
 		}
 		return
 	}
+
+	if *obsAddr != "" || *traceSpans != "" {
+		obs.SetEnabled(true)
+	}
+	stack, err := telemetry.StartStack(telemetry.StackOptions{Addr: *obsAddr, TraceSpans: *traceSpans})
+	if err != nil {
+		fail(err)
+	}
+	cleanup = func() {
+		if err := stack.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}
+	defer cleanup()
 
 	// SIGINT/SIGTERM cancel between simulations with a typed cause:
 	// experiments already printed stay on screen, journaled sweeps flush
@@ -103,7 +127,9 @@ func main() {
 			fail(err)
 		}
 		suite.SetEngine(eng)
+		stack.SetProgress(eng.Progress)
 	}
+	stack.SetReady(true) // suite calibrated: work can be admitted
 
 	var selected []experiments.Experiment
 	if *exp == "" {
@@ -130,6 +156,7 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "figures: interrupted during %s; results above are partial\n", e.ID)
+				cleanup()
 				os.Exit(jobs.ExitInterrupted)
 			}
 			if errors.Is(err, jobs.ErrQuarantined) {
@@ -144,11 +171,13 @@ func main() {
 		fmt.Printf("== %s (%s, %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
 	}
 	if partial {
+		cleanup()
 		os.Exit(jobs.ExitPartial)
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
+	cleanup()
 	os.Exit(1)
 }

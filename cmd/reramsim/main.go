@@ -19,7 +19,11 @@
 //
 // Observability: -metrics dumps the metric registry after the run
 // (Prometheus-style text, or JSON with -metrics-format json), -trace-out
-// streams structured events as JSONL, and -pprof serves net/http/pprof.
+// streams structured events as JSONL, -obs-addr serves the live
+// telemetry plane (/metrics, /healthz, /readyz, /progress and
+// /debug/pprof/ on one address with graceful shutdown), and -trace-spans
+// records hierarchical spans as a Chrome trace-event file for Perfetto.
+// -pprof is a deprecated alias for -obs-addr.
 package main
 
 import (
@@ -28,8 +32,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,8 +46,14 @@ import (
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
 	"reramsim/internal/solvecache"
+	"reramsim/internal/telemetry"
 	"reramsim/internal/wear"
 )
+
+// cleanup tears the observability stack down before the process exits;
+// os.Exit skips deferred calls, so every exit path routes through it
+// (it is idempotent). Installed in main once the stack is up.
+var cleanup = func() {}
 
 func main() {
 	var (
@@ -73,7 +81,9 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "dump the metric registry after the run")
 		metricsFmt = flag.String("metrics-format", "text", "metrics dump format: text (Prometheus-style) or json")
 		traceOut   = flag.String("trace-out", "", "write structured trace events as JSONL to this file")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsAddr    = flag.String("obs-addr", "", "serve live telemetry (/metrics, /healthz, /readyz, /progress, /debug/pprof/) on this address (e.g. localhost:6060)")
+		traceSpans = flag.String("trace-spans", "", "write hierarchical spans as a Chrome trace-event file (load in ui.perfetto.dev)")
+		pprofAddr  = flag.String("pprof", "", "deprecated alias for -obs-addr")
 	)
 	flag.Parse()
 
@@ -103,6 +113,13 @@ func main() {
 	if *metricsFmt != "text" && *metricsFmt != "json" {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
 	}
+	if *pprofAddr != "" {
+		if *obsAddr != "" {
+			fail(fmt.Errorf("-pprof is a deprecated alias for -obs-addr; set only -obs-addr"))
+		}
+		fmt.Fprintln(os.Stderr, "reramsim: -pprof is deprecated; use -obs-addr (same address now also serves /metrics, /healthz, /readyz and /progress)")
+		*obsAddr = *pprofAddr
+	}
 
 	par.SetJobs(*jobsFlag)
 	if *solveCacheDir != "" {
@@ -112,7 +129,7 @@ func main() {
 		}
 		core.SetSolveCache(sc)
 	}
-	if *metrics || *traceOut != "" || *pprofAddr != "" {
+	if *metrics || *traceOut != "" || *obsAddr != "" || *traceSpans != "" {
 		obs.SetEnabled(true)
 	}
 	if *traceOut != "" {
@@ -130,13 +147,16 @@ func main() {
 			f.Close()
 		}()
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "reramsim: pprof:", err)
-			}
-		}()
+	stack, err := telemetry.StartStack(telemetry.StackOptions{Addr: *obsAddr, TraceSpans: *traceSpans})
+	if err != nil {
+		fail(err)
 	}
+	cleanup = func() {
+		if err := stack.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "reramsim:", err)
+		}
+	}
+	defer cleanup()
 
 	// SIGINT/SIGTERM cancel between simulations with a typed cause: the
 	// suite returns what it has, the sweep journal flushes its final
@@ -162,6 +182,7 @@ func main() {
 	suite.MemCfg.FaultProfile = *faultProfile
 	suite.MemCfg.FaultSeed = *faultSeed
 	suite.MemCfg.MaxWriteRetries = *maxRetries
+	stack.SetReady(true) // suite calibrated: work can be admitted
 
 	if len(schemes) > 1 || len(workloads) > 1 || *checkpointDir != "" || *resumeDir != "" {
 		code := runSweep(suite, schemes, workloads, sweepOptions{
@@ -169,8 +190,10 @@ func main() {
 			resumeDir:     *resumeDir,
 			cellTimeout:   *cellTimeout,
 			jsonOut:       *jsonOut,
+			stack:         stack,
 		})
 		dumpMetrics(*metrics, *metricsFmt)
+		cleanup()
 		os.Exit(code)
 	}
 
@@ -182,6 +205,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "reramsim: interrupted")
+			cleanup()
 			os.Exit(jobs.ExitInterrupted)
 		}
 		fail(err)
@@ -269,6 +293,7 @@ type sweepOptions struct {
 	resumeDir     string
 	cellTimeout   time.Duration
 	jsonOut       bool
+	stack         *telemetry.Stack
 }
 
 // runSweep executes the schemes x workloads grid through the crash-safe
@@ -302,6 +327,7 @@ func runSweep(suite *experiments.Suite, schemes, workloads []string, o sweepOpti
 		fail(err)
 	}
 	suite.SetEngine(eng)
+	o.stack.SetProgress(eng.Progress)
 	rep, runErr := suite.RunGrid(eng, pairs)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "reramsim:", runErr)
@@ -400,5 +426,6 @@ func dumpMetrics(enabled bool, format string) {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "reramsim:", err)
+	cleanup()
 	os.Exit(1)
 }

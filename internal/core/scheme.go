@@ -128,6 +128,9 @@ const offsetBuckets = 4
 // dozen array operating points (DRVR/UDRVR calibration); reuse schemes
 // across simulations.
 func NewScheme(name string, opt Options) (*Scheme, error) {
+	if obs.SpansEnabled() {
+		defer obs.SpanScope("core.calibrate:" + name)()
+	}
 	if opt.MaxLevel == 0 {
 		opt.MaxLevel = MaxLevel
 	}
@@ -478,6 +481,7 @@ func canonicalMask(m uint8) uint8 {
 
 // solveOp runs the array model for the representative operation of key k.
 func (s *Scheme) solveOp(k opKey) (opCost, error) {
+	defer obs.SpanScope("core.solve_op")()
 	cfg := s.arr.Config()
 	muxW := cfg.MuxWidth()
 	// Representative (pessimistic) row and offset of the bucket.

@@ -44,6 +44,12 @@ func (s *Suite) GridDigest(pairs []SimPair) (string, error) {
 // result cache, so the serial render loop behind PrimeSims reads them
 // as ordinary cache hits. Duplicate pairs collapse onto one cell.
 func (s *Suite) RunGrid(eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error) {
+	return s.runGrid(s.Context(), eng, pairs)
+}
+
+// runGrid is RunGrid under an explicit context (PrimeSims threads the
+// sweep's span context through here so cells nest under it).
+func (s *Suite) runGrid(ctx context.Context, eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error) {
 	cells := make([]jobs.Cell, 0, len(pairs))
 	seen := make(map[string]bool, len(pairs))
 	for _, p := range pairs {
@@ -64,7 +70,7 @@ func (s *Suite) RunGrid(eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error)
 			},
 		})
 	}
-	rep, err := eng.Run(s.Context(), cells)
+	rep, err := eng.Run(ctx, cells)
 	if rep != nil {
 		s.seedResumed(rep)
 	}

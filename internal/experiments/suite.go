@@ -170,6 +170,9 @@ func (s *Suite) Scheme(name string) (*core.Scheme, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown scheme %q", name)
 		}
+		if obs.SpansEnabled() {
+			defer obs.SpanScope("scheme:" + name)()
+		}
 		sc, err := build(s.Cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
@@ -225,6 +228,11 @@ func (s *Suite) runSim(ctx context.Context, key, scheme, workload string) (*mems
 			err = cause
 		}
 		return nil, fmt.Errorf("experiments: %s on %s: %w", scheme, workload, err)
+	}
+	if obs.SpansEnabled() {
+		var stop func()
+		ctx, stop = obs.StartSpan(ctx, "sim:"+key)
+		defer stop()
 	}
 	sc, err := s.Scheme(scheme)
 	if err != nil {
@@ -293,11 +301,13 @@ func crossPairs(schemes, workloads []string) []SimPair {
 // cell (panic/timeout/exhausted retries) yields an error wrapping
 // jobs.ErrQuarantined after the rest of the grid finishes.
 func (s *Suite) PrimeSims(pairs []SimPair) error {
+	ctx, stopSpan := obs.StartSpan(s.Context(), "experiments.sweep")
+	defer stopSpan()
 	s.mu.Lock()
 	eng := s.engine
 	s.mu.Unlock()
 	if eng != nil {
-		rep, err := s.RunGrid(eng, pairs)
+		rep, err := s.runGrid(ctx, eng, pairs)
 		if err != nil {
 			return err
 		}
@@ -311,8 +321,8 @@ func (s *Suite) PrimeSims(pairs []SimPair) error {
 		}
 		return nil
 	}
-	return par.ForEach(s.Context(), len(pairs), func(i int) error {
-		_, err := s.Sim(pairs[i].Scheme, pairs[i].Workload)
+	return par.ForEach(ctx, len(pairs), func(i int) error {
+		_, err := s.SimContext(ctx, pairs[i].Scheme, pairs[i].Workload)
 		return err
 	})
 }

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reramsim/internal/obs"
 	"reramsim/internal/par"
 )
 
@@ -174,6 +175,10 @@ type Engine struct {
 	mu       sync.Mutex
 	done     map[string][]byte // key -> payload (disk-resumed + completed here)
 	fromDisk map[string]bool   // keys loaded from the journal, not yet re-reported
+
+	// prog tracks per-cell live state for the telemetry /progress
+	// endpoint (own lock; never contends with execution).
+	prog progressTracker
 }
 
 // Open prepares an engine. With a Dir it creates the directory, then
@@ -236,6 +241,8 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, stopSpan := obs.StartSpan(ctx, "jobs.grid")
+	defer stopSpan()
 	seen := make(map[string]bool, len(cells))
 	for _, c := range cells {
 		if c.Key == "" || c.Run == nil {
@@ -249,20 +256,28 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 
 	rep := &Report{Done: make(map[string][]byte, len(cells))}
 	var pending []Cell
+	progStates := make(map[string]CellState, len(cells))
 	e.mu.Lock()
 	for _, c := range cells {
 		payload, ok := e.done[c.Key]
 		if !ok {
 			pending = append(pending, c)
+			progStates[c.Key] = CellPending
 			continue
 		}
 		rep.Done[c.Key] = payload
 		if e.fromDisk[c.Key] {
 			rep.Resumed = append(rep.Resumed, c.Key)
 			obsResumed.Inc()
+			progStates[c.Key] = CellResumed
+		} else {
+			progStates[c.Key] = CellCompleted
 		}
 	}
 	e.mu.Unlock()
+	for _, c := range cells {
+		e.prog.observe(c.Key, progStates[c.Key])
+	}
 
 	var (
 		repMu   sync.Mutex
@@ -270,6 +285,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 	)
 	wd := newWatchdog(e.opts, func(key string) {
 		obsStalled.Inc()
+		e.prog.markStalled(key)
 		repMu.Lock()
 		rep.Stalled = append(rep.Stalled, key)
 		repMu.Unlock()
@@ -281,6 +297,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 
 	quarantine := func(key, reason string, err error, stack string) error {
 		obsQuarantined.Inc()
+		e.prog.markQuarantined(key, reason)
 		q := quarantineData{Reason: reason, Error: err.Error(), Stack: stack}
 		data, merr := marshalQuarantine(q)
 		if merr == nil {
@@ -308,6 +325,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 					rep.Executed = append(rep.Executed, c.Key)
 					repMu.Unlock()
 					obsCompleted.Inc()
+					e.prog.markDone(c.Key)
 					return nil
 				}
 			}
@@ -332,6 +350,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) (*Report, error) {
 			if attempt < e.opts.MaxRetries && (IsTransient(err) || (e.opts.Retryable != nil && e.opts.Retryable(err))) {
 				obsRetried.Inc()
 				retries.Add(1)
+				e.prog.addRetry()
 				e.opts.sleep(ctx, backoffDelay(e.opts, c.Key, attempt))
 				continue
 			}
@@ -385,8 +404,14 @@ func (e *Engine) attempt(ctx context.Context, c Cell, wd *watchdog) (payload []b
 	}
 	bs := newBeatState()
 	cctx = context.WithValue(cctx, beatKeyType{}, bs)
+	if obs.SpansEnabled() { // dynamic name: only build it when a sink is on
+		var stop func()
+		cctx, stop = obs.StartSpan(cctx, "cell:"+c.Key)
+		defer stop()
+	}
 	start := time.Now()
 	wd.register(c.Key, bs)
+	e.prog.markRunning(c.Key, bs)
 	defer func() {
 		wd.unregister(c.Key, time.Since(start))
 		if v := recover(); v != nil {

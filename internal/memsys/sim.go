@@ -167,6 +167,9 @@ type sim struct {
 // Simulate runs workload bench against scheme s under cfg and returns
 // aggregate performance and energy.
 func Simulate(s *core.Scheme, bench trace.Benchmark, cfg Config) (*Result, error) {
+	if obs.SpansEnabled() {
+		defer obs.SpanScope("memsys.sim:" + s.Name() + "/" + bench.Name)()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -193,11 +193,51 @@ func VoltageBounds() []float64 { return LinearBounds(0.1, 4.0, 40) }
 
 // Registry holds named metrics. Lookup is get-or-create; handles are
 // stable, so instrumented packages resolve them once at init.
+//
+// Alongside the maps the registry maintains a copy-on-write view — an
+// immutable, name-sorted slice of every handle, swapped atomically on
+// each registration. Snapshot reads the view and the metrics' own
+// atomics, so scraping (the telemetry server's /metrics) never takes
+// the registry mutex and can never contend with obs.Capture's
+// process-wide capture lock or with registrations on hot paths.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	view     atomic.Pointer[metricView]
+}
+
+// metricView is one immutable generation of the registry's handles,
+// each slice sorted by metric name.
+type metricView struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// rebuildViewLocked publishes a fresh view after a registration; callers
+// hold r.mu. Registrations are rare (handles resolve once at package
+// init), so the O(n log n) rebuild is off every hot path.
+func (r *Registry) rebuildViewLocked() {
+	v := &metricView{
+		counters: make([]*Counter, 0, len(r.counters)),
+		gauges:   make([]*Gauge, 0, len(r.gauges)),
+		hists:    make([]*Histogram, 0, len(r.hists)),
+	}
+	for _, c := range r.counters {
+		v.counters = append(v.counters, c)
+	}
+	for _, g := range r.gauges {
+		v.gauges = append(v.gauges, g)
+	}
+	for _, h := range r.hists {
+		v.hists = append(v.hists, h)
+	}
+	sort.Slice(v.counters, func(i, j int) bool { return v.counters[i].name < v.counters[j].name })
+	sort.Slice(v.gauges, func(i, j int) bool { return v.gauges[i].name < v.gauges[j].name })
+	sort.Slice(v.hists, func(i, j int) bool { return v.hists[i].name < v.hists[j].name })
+	r.view.Store(v)
 }
 
 // NewRegistry returns an empty registry.
@@ -223,6 +263,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{name: name}
 		r.counters[name] = c
+		r.rebuildViewLocked()
 	}
 	return c
 }
@@ -235,6 +276,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{name: name}
 		r.gauges[name] = g
+		r.rebuildViewLocked()
 	}
 	return g
 }
@@ -248,6 +290,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = newHistogram(name, bounds)
 		r.hists[name] = h
+		r.rebuildViewLocked()
 	}
 	return h
 }

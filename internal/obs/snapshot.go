@@ -73,22 +73,30 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot freezes the registry's current values.
+// Snapshot freezes the registry's current values. It is lock-free: the
+// handle set comes from the registry's copy-on-write view and the
+// values from each metric's own atomics, so a concurrent scrape (the
+// telemetry /metrics endpoint) never blocks metric mutation, metric
+// registration, or an obs.Capture window — and vice versa. Values read
+// while writers run are per-metric atomic reads, not a consistent
+// cross-metric cut; Capture remains the tool for exact attribution.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	v := r.view.Load()
+	if v == nil {
+		v = &metricView{}
+	}
 	s := Snapshot{
-		Counters:   make(map[string]uint64, len(r.counters)),
-		Gauges:     make(map[string]float64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Counters:   make(map[string]uint64, len(v.counters)),
+		Gauges:     make(map[string]float64, len(v.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(v.hists)),
 	}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for _, c := range v.counters {
+		s.Counters[c.name] = c.Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for _, g := range v.gauges {
+		s.Gauges[g.name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for _, h := range v.hists {
 		hs := HistogramSnapshot{
 			Count:   h.count.Load(),
 			Sum:     h.Sum(),
@@ -107,7 +115,7 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			hs.Buckets[i] = BucketCount{LE: le, Count: h.counts[i].Load()}
 		}
-		s.Histograms[name] = hs
+		s.Histograms[h.name] = hs
 	}
 	return s
 }

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hierarchical spans: timed scopes with parent/child linkage, exported
+// as Chrome trace events so a whole sweep renders as a flame view in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Parentage is derived two ways, cheapest first: a span started on a
+// goroutine that already has an open span nests under it (a per-
+// goroutine stack, so ctx-free layers like xpoint and memsys need no
+// plumbing), and a span started on a fresh goroutine picks its parent
+// up from the context (StartSpan threads the span id through ctx, so
+// fan-out across the par worker pool keeps the sweep -> cell chain).
+//
+// Like metrics, spans are atomic-gated: with no sink installed,
+// StartSpan/SpanScope cost one atomic load and return a shared no-op
+// stop — zero allocations on instrumented hot paths
+// (BenchmarkSpanDisabled guards this in make ci).
+
+// Span is one finished timed scope as handed to the sink. Start is
+// relative to the process-wide span epoch; GID is the goroutine the
+// span ran on (the trace track).
+type Span struct {
+	ID       uint64
+	ParentID uint64 // 0 for roots
+	Name     string
+	GID      uint64
+	Start    time.Duration
+	Dur      time.Duration
+}
+
+// SpanSink receives finished spans. Emit may be called from any
+// goroutine; implementations synchronize internally.
+type SpanSink interface {
+	EmitSpan(Span)
+}
+
+// spanEpoch anchors span timestamps (and the runtime.uptime gauge).
+var spanEpoch = time.Now()
+
+var spans struct {
+	on   atomic.Bool
+	seq  atomic.Uint64
+	mu   sync.Mutex
+	sink SpanSink
+	tops map[uint64]*spanNode // goroutine id -> innermost open span
+}
+
+func init() { spans.tops = make(map[uint64]*spanNode) }
+
+// spanNode is one open span; up points at the enclosing span on the
+// same goroutine (the per-goroutine stack is an intrusive linked list).
+type spanNode struct {
+	id       uint64
+	parentID uint64
+	up       *spanNode
+	name     string
+	gid      uint64
+	start    time.Duration
+}
+
+// SetSpanSink installs (nil: removes) the span sink and gates span
+// collection on its presence.
+func SetSpanSink(s SpanSink) {
+	spans.mu.Lock()
+	spans.sink = s
+	spans.mu.Unlock()
+	spans.on.Store(s != nil)
+}
+
+// SpansEnabled reports whether a span sink is installed. Call sites
+// that build span names dynamically (fmt/concat allocate) must check it
+// first so the disabled path stays allocation-free.
+func SpansEnabled() bool { return spans.on.Load() }
+
+// spanCtxKey carries the current span id across goroutine boundaries.
+type spanCtxKey struct{}
+
+// StartSpan opens a named span under ctx and returns the context to
+// hand to child work (it carries the span id for cross-goroutine
+// nesting) plus the stop function closing the span. Stop must be called
+// on the goroutine that started the span — the usual
+//
+//	ctx, stop := obs.StartSpan(ctx, "experiments.sweep")
+//	defer stop()
+//
+// discipline guarantees that. With spans disabled the call is one
+// atomic load, returns ctx unchanged, and allocates nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	if !spans.on.Load() {
+		return ctx, nopStop
+	}
+	n := startSpan(ctx, name)
+	return context.WithValue(ctx, spanCtxKey{}, n.id), n.stop
+}
+
+// SpanScope opens a span for layers without context plumbing (the
+// xpoint solver, the memsys event loop): nesting rides the per-
+// goroutine stack alone. Use as
+//
+//	defer obs.SpanScope("xpoint.solve")()
+func SpanScope(name string) func() {
+	if !spans.on.Load() {
+		return nopStop
+	}
+	return startSpan(context.Background(), name).stop
+}
+
+func startSpan(ctx context.Context, name string) *spanNode {
+	gid := goid()
+	n := &spanNode{
+		id:    spans.seq.Add(1),
+		name:  name,
+		gid:   gid,
+		start: time.Since(spanEpoch),
+	}
+	var ctxParent uint64
+	if id, ok := ctx.Value(spanCtxKey{}).(uint64); ok {
+		ctxParent = id
+	}
+	spans.mu.Lock()
+	if up := spans.tops[gid]; up != nil {
+		n.up, n.parentID = up, up.id
+	} else {
+		n.parentID = ctxParent
+	}
+	spans.tops[gid] = n
+	spans.mu.Unlock()
+	return n
+}
+
+// stop closes the span: pops it off its goroutine's stack and emits it.
+func (n *spanNode) stop() {
+	end := time.Since(spanEpoch)
+	spans.mu.Lock()
+	if spans.tops[n.gid] == n {
+		if n.up != nil {
+			spans.tops[n.gid] = n.up
+		} else {
+			delete(spans.tops, n.gid)
+		}
+	}
+	sink := spans.sink
+	spans.mu.Unlock()
+	if sink != nil {
+		sink.EmitSpan(Span{
+			ID: n.id, ParentID: n.parentID, Name: n.name, GID: n.gid,
+			Start: n.start, Dur: end - n.start,
+		})
+	}
+}
+
+// goidBufs pools the small stack-dump buffers goid parses.
+var goidBufs = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+// goid returns the current goroutine's id, parsed from the runtime
+// stack header ("goroutine N [...]"). Only called with spans enabled.
+func goid() uint64 {
+	bp := goidBufs.Get().(*[]byte)
+	b := (*bp)[:cap(*bp)]
+	n := runtime.Stack(b, false)
+	b = b[:n]
+	const pfx = len("goroutine ")
+	var id uint64
+	for i := pfx; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	goidBufs.Put(bp)
+	return id
+}
+
+// NopSpanSink discards every span; installing it exercises the full
+// span path (allocation, stack upkeep) without retaining anything —
+// BenchmarkSpanEnabled measures against it.
+type NopSpanSink struct{}
+
+// EmitSpan implements SpanSink.
+func (NopSpanSink) EmitSpan(Span) {}
+
+// MemorySpanSink captures spans for tests.
+type MemorySpanSink struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// EmitSpan implements SpanSink.
+func (m *MemorySpanSink) EmitSpan(sp Span) {
+	m.mu.Lock()
+	m.spans = append(m.spans, sp)
+	m.mu.Unlock()
+}
+
+// Spans returns a copy of everything captured so far.
+func (m *MemorySpanSink) Spans() []Span {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Span, len(m.spans))
+	copy(out, m.spans)
+	return out
+}
+
+// ChromeTraceSink streams spans as a Chrome trace-event JSON array —
+// complete ("ph":"X") events with tid = goroutine id, so Perfetto and
+// chrome://tracing nest them into per-goroutine flame tracks by time
+// containment, with the explicit span/parent ids in args. Close writes
+// the closing bracket and flushes; the first write error sticks.
+type ChromeTraceSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	n   int
+	err error
+}
+
+// NewChromeTraceSink starts a trace-event array on w.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	s := &ChromeTraceSink{bw: bufio.NewWriter(w)}
+	_, s.err = s.bw.WriteString("[\n")
+	return s
+}
+
+// chromeEvent is one trace-event record; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  uint64  `json:"tid"`
+	Args struct {
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent,omitempty"`
+	} `json:"args"`
+}
+
+// EmitSpan implements SpanSink.
+func (s *ChromeTraceSink) EmitSpan(sp Span) {
+	ev := chromeEvent{
+		Name: sp.Name, Cat: "span", Ph: "X",
+		TS:  float64(sp.Start.Nanoseconds()) / 1e3,
+		Dur: float64(sp.Dur.Nanoseconds()) / 1e3,
+		PID: 1, TID: sp.GID,
+	}
+	ev.Args.ID, ev.Args.Parent = sp.ID, sp.ParentID
+	blob, err := json.Marshal(ev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.n > 0 {
+		if _, s.err = s.bw.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.n++
+	_, s.err = s.bw.Write(blob)
+}
+
+// Close terminates the JSON array and flushes. The sink must be
+// detached (SetSpanSink(nil)) before Close.
+func (s *ChromeTraceSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
