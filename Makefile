@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry vuln bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve vuln bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par test-resume test-telemetry bench-guard vuln
+ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve bench-guard vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -54,6 +54,15 @@ test-telemetry:
 	$(GO) test -race -run 'TestSweepSpan|TestProgress' ./internal/experiments/ ./internal/jobs/
 	$(GO) test -run 'TestTelemetryE2ESmoke' ./cmd/reramsim/
 
+# The service layer under the race detector: admission shedding
+# (429/503 + Retry-After), dedup exactness (32 identical sweeps -> one
+# execution), drain-under-load, panic isolation and the shared retry
+# policy — plus the reramd daemon e2e (real suite over HTTP, SIGTERM
+# drain with on-disk checkpoints, exit 0).
+test-serve:
+	$(GO) test -race ./internal/serve/ ./internal/retry/
+	$(GO) test -race -run 'TestDaemon' ./cmd/reramd/
+
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -72,9 +81,12 @@ bench-guard:
 
 # Machine-readable micro-benchmark snapshot for the perf trajectory:
 # the PR4 solver/cost baselines (steady-state ResetOp regressions show
-# up against BENCH_PR4.json) plus the PR6 telemetry overheads (span
-# on/off, /metrics scrape render).
+# up against BENCH_PR4.json), the PR6 telemetry overheads (span on/off,
+# /metrics scrape render), and the PR7 served-request latency (full
+# HTTP round trip through admission + deadline setup).
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape' \
-		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape' \
+		-benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkServedSolve' -benchtime 500x -benchmem ./internal/serve/ ; } \
+		| $(GO) run ./cmd/bench2json > BENCH_PR7.json
+	@echo "wrote BENCH_PR7.json"

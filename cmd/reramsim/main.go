@@ -113,13 +113,11 @@ func main() {
 	if *metricsFmt != "text" && *metricsFmt != "json" {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
 	}
-	if *pprofAddr != "" {
-		if *obsAddr != "" {
-			fail(fmt.Errorf("-pprof is a deprecated alias for -obs-addr; set only -obs-addr"))
-		}
-		fmt.Fprintln(os.Stderr, "reramsim: -pprof is deprecated; use -obs-addr (same address now also serves /metrics, /healthz, /readyz and /progress)")
-		*obsAddr = *pprofAddr
+	resolved, err := telemetry.ResolvePprofAlias("reramsim", *obsAddr, *pprofAddr, os.Stderr)
+	if err != nil {
+		fail(err)
 	}
+	*obsAddr = resolved
 
 	par.SetJobs(*jobsFlag)
 	if *solveCacheDir != "" {

@@ -13,10 +13,40 @@ package atomicio
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 )
+
+// Stages of the temp-write+rename dance, carried by WriteError so a
+// failure report says exactly how far the write got.
+const (
+	StageCreateTemp = "create temp"
+	StageWrite      = "write"
+	StageSync       = "sync"
+	StageClose      = "close"
+	StageRename     = "rename"
+)
+
+// WriteError is a failed atomic write: the destination the caller asked
+// for, the stage that failed, and the underlying cause. A short write
+// (ENOSPC commonly surfaces as one) is reported at StageWrite wrapping
+// io.ErrShortWrite, so callers can errors.Is their way to the cause while
+// logs name the file that did not land.
+type WriteError struct {
+	Dest  string // final destination path (dir/name)
+	Stage string // Stage* constant naming the failed step
+	Err   error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("atomicio: %s %s: %v", e.Stage, e.Dest, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As (e.g. io.ErrShortWrite,
+// syscall.ENOSPC, fs.ErrPermission).
+func (e *WriteError) Unwrap() error { return e.Err }
 
 // seq disambiguates concurrent writers inside one process.
 var seq atomic.Uint64
@@ -41,25 +71,45 @@ func WriteFileSync(dir, name string, data []byte, perm os.FileMode) error {
 }
 
 func write(dir, name string, data []byte, perm os.FileMode, sync bool) error {
+	dst := filepath.Join(dir, name)
 	tmp := filepath.Join(dir, TempName(name))
+	fail := func(stage string, err error) error {
+		os.Remove(tmp)
+		return &WriteError{Dest: dst, Stage: stage, Err: err}
+	}
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		return &WriteError{Dest: dst, Stage: StageCreateTemp, Err: err}
+	}
+	if err := writeAll(f, data); err != nil {
+		f.Close()
+		return fail(StageWrite, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fail(StageSync, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fail(StageClose, err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fail(StageRename, err)
+	}
+	return nil
+}
+
+// writeAll pushes data through w, converting the silent short-write case
+// (n < len(data) with a nil error — how a full disk often first shows up)
+// into io.ErrShortWrite so no byte count is ever lost without an error.
+func writeAll(w io.Writer, data []byte) error {
+	n, err := w.Write(data)
 	if err != nil {
 		return err
 	}
-	_, werr := f.Write(data)
-	if werr == nil && sync {
-		werr = f.Sync()
-	}
-	cerr := f.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, filepath.Join(dir, name))
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
+	if n < len(data) {
+		return fmt.Errorf("wrote %d of %d bytes: %w", n, len(data), io.ErrShortWrite)
 	}
 	return nil
 }

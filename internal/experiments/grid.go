@@ -47,6 +47,18 @@ func (s *Suite) RunGrid(eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error)
 	return s.runGrid(s.Context(), eng, pairs)
 }
 
+// RunGridContext is RunGrid under an explicit per-call context, for
+// hosts that bound individual grid runs tighter than the suite's own
+// lifetime — the reramd daemon threads each request's deadline through
+// here, so one slow client's sweep times out without touching the
+// suite-wide context shared by every other request.
+func (s *Suite) RunGridContext(ctx context.Context, eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error) {
+	if ctx == nil {
+		ctx = s.Context()
+	}
+	return s.runGrid(ctx, eng, pairs)
+}
+
 // runGrid is RunGrid under an explicit context (PrimeSims threads the
 // sweep's span context through here so cells nest under it).
 func (s *Suite) runGrid(ctx context.Context, eng *jobs.Engine, pairs []SimPair) (*jobs.Report, error) {

@@ -29,8 +29,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"math/rand"
 	"os"
 	"runtime/debug"
 	"sort"
@@ -40,6 +38,7 @@ import (
 
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
+	"reramsim/internal/retry"
 )
 
 // Cell is one unit of the sweep grid: a stable key (e.g.
@@ -433,28 +432,12 @@ func (e *Engine) attempt(ctx context.Context, c Cell, wd *watchdog) (payload []b
 }
 
 // backoffDelay computes the capped exponential backoff with +-50%
-// jitter. The jitter is deterministic in (key, attempt) — no global
-// RNG, so concurrent cells never contend and reruns are reproducible.
+// jitter. The policy — deterministic per-(key, attempt) jitter, no
+// global RNG — lives in internal/retry, shared with the reramd daemon's
+// Retry-After hints.
 func backoffDelay(o Options, key string, attempt int) time.Duration {
-	d := o.Backoff << uint(attempt)
-	if d <= 0 || d > o.MaxBackoff {
-		d = o.MaxBackoff
-	}
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	rng := rand.New(rand.NewSource(int64(h.Sum64()) + int64(attempt)))
-	return d/2 + time.Duration(rng.Int63n(int64(d)+1))
+	return retry.Policy{Initial: o.Backoff, Max: o.MaxBackoff}.Delay(key, attempt)
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled.
-func sleepCtx(ctx context.Context, d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
-}
+func sleepCtx(ctx context.Context, d time.Duration) { retry.Sleep(ctx, d) }

@@ -1,0 +1,79 @@
+// Package retry is the repository's single definition of the
+// capped-exponential-backoff-with-deterministic-jitter policy. The jobs
+// engine uses it to space transient-failure re-attempts; the reramd
+// daemon uses the same math to compute Retry-After hints for shed
+// clients, so retrying clients and retrying cells spread out the same
+// way and the policy exists in exactly one place.
+//
+// The jitter is deterministic in (key, attempt): no global RNG, so
+// concurrent callers never contend on a lock and a rerun of the same
+// schedule reproduces the same delays — the property the jobs engine's
+// byte-identical-resume tests rely on, and the property that keeps a
+// herd of identical clients from re-synchronising (each client key lands
+// on its own point of the jitter window).
+package retry
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Default policy constants (the jobs engine's historical values).
+const (
+	DefaultInitial = 100 * time.Millisecond
+	DefaultMax     = 2 * time.Second
+)
+
+// Policy is a capped exponential backoff: attempt n (0-based) waits
+// Initial<<n, capped at Max, then jittered to [d/2, 3d/2] by a hash of
+// (key, attempt). The zero value selects the defaults.
+type Policy struct {
+	Initial time.Duration // first delay (default 100ms)
+	Max     time.Duration // cap on the pre-jitter delay (default 2s)
+}
+
+// withDefaults normalises unset fields.
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = DefaultInitial
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	return p
+}
+
+// Delay returns the backoff before re-attempt attempt (0-based) of the
+// work identified by key: Initial<<attempt capped at Max, then spread
+// over [d/2, 3d/2] deterministically in (key, attempt).
+func (p Policy) Delay(key string, attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Initial << uint(attempt)
+	if d <= 0 || d > p.Max { // <= 0 catches shift overflow
+		d = p.Max
+	}
+	return d/2 + time.Duration(jitterRNG(key, attempt).Int63n(int64(d)+1))
+}
+
+// jitterRNG seeds a private RNG from (key, attempt).
+func jitterRNG(key string, attempt int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return rand.New(rand.NewSource(int64(h.Sum64()) + int64(attempt)))
+}
+
+// Sleep blocks for d or until ctx is cancelled, whichever comes first.
+// d <= 0 returns immediately.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

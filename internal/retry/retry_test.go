@@ -1,0 +1,78 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second}
+	for attempt := 0; attempt < 6; attempt++ {
+		a := p.Delay("UDRVR+PR/mcf_m", attempt)
+		b := p.Delay("UDRVR+PR/mcf_m", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+func TestDelayJitterWindow(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		base := p.Initial << uint(attempt)
+		if base <= 0 || base > p.Max {
+			base = p.Max
+		}
+		d := p.Delay("some/key", attempt)
+		if d < base/2 || d > base/2*3+1 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, base/2*3)
+		}
+	}
+}
+
+func TestDelayCapped(t *testing.T) {
+	p := Policy{Initial: time.Second, Max: 2 * time.Second}
+	// Far past the cap — and far past shift overflow of Initial<<attempt.
+	for _, attempt := range []int{4, 40, 63, 100} {
+		if d := p.Delay("k", attempt); d > 3*time.Second {
+			t.Errorf("attempt %d: delay %v exceeds 3/2 x Max", attempt, d)
+		}
+	}
+}
+
+func TestDelayKeysSpread(t *testing.T) {
+	// Different keys at the same attempt should not all collapse onto one
+	// delay — that is the whole point of per-key jitter.
+	p := Policy{}
+	seen := make(map[time.Duration]bool)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[p.Delay(k, 0)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("8 keys produced %d distinct delays; jitter is not per-key", len(seen))
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay("k", 0)
+	if d < DefaultInitial/2 || d > DefaultInitial/2*3 {
+		t.Errorf("zero policy attempt 0 delay %v outside default window", d)
+	}
+}
+
+func TestSleepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Sleep(ctx, time.Minute)
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("Sleep ignored cancelled context (slept %v)", e)
+	}
+}
+
+func TestSleepNonPositive(t *testing.T) {
+	Sleep(context.Background(), 0)
+	Sleep(context.Background(), -time.Second)
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"reramsim/internal/retry"
+)
+
+// AdmissionConfig bounds what the daemon accepts. The zero value of
+// every field selects a sensible default, so Options.Admission can be
+// left empty entirely.
+type AdmissionConfig struct {
+	// MaxInflight bounds concurrently executing compute requests (solve
+	// calls and sweep jobs). Default: 2 x GOMAXPROCS — the underlying
+	// solver pool is GOMAXPROCS-wide, so more in-flight work only adds
+	// queueing inside the process.
+	MaxInflight int
+	// MaxQueue bounds requests parked waiting for a slot; one past it is
+	// shed with 503. Default 64.
+	MaxQueue int
+	// QueueWait bounds how long one request waits in the queue before it
+	// is shed with 503. Default 5s.
+	QueueWait time.Duration
+	// RatePerSec is each client's sustained request rate (token-bucket
+	// refill). Default 50/s.
+	RatePerSec float64
+	// Burst is each client's bucket depth — how many requests it can
+	// fire back-to-back before the sustained rate applies. Default 100.
+	Burst float64
+	// RetryPolicy shapes the jittered component of Retry-After hints;
+	// the zero value selects the shared retry defaults (the jobs
+	// engine's backoff constants).
+	RetryPolicy retry.Policy
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 50
+	}
+	if c.Burst <= 0 {
+		c.Burst = 100
+	}
+	return c
+}
+
+// bucket is one client's token bucket. tokens refills at RatePerSec up
+// to Burst; each admitted request costs one token. sheds counts
+// consecutive rejections, escalating the jittered Retry-After hint the
+// same way the jobs engine escalates retry backoff.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	sheds  int
+}
+
+// admission is the daemon's intake: per-client token buckets in front
+// of a bounded slot semaphore with a bounded wait queue.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{} // buffered MaxInflight; holding an element = holding a slot
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	queued  int
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxInflight),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow charges one request to client's token bucket. When the bucket
+// is empty it returns ok=false and a Retry-After hint: the exact time
+// until the next token plus the shared capped-backoff jitter keyed by
+// client — deterministic per (client, consecutive sheds), so a shed
+// herd spreads out instead of re-synchronising on the hint.
+func (a *admission) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[client] = b
+		obsClients.Set(float64(len(a.buckets)))
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.cfg.RatePerSec
+		if b.tokens > a.cfg.Burst {
+			b.tokens = a.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.sheds = 0
+		return true, 0
+	}
+	untilToken := time.Duration((1 - b.tokens) / a.cfg.RatePerSec * float64(time.Second))
+	attempt := b.sheds
+	if attempt > 6 { // cap the escalation; the bucket math already dominates
+		attempt = 6
+	}
+	b.sheds++
+	return false, untilToken + a.cfg.RetryPolicy.Delay(client, attempt)
+}
+
+// slot acquires one compute slot, parking in the bounded queue when all
+// are held. It returns a release function, or errSaturated when the
+// queue is full or QueueWait elapses, or ctx's cause when the caller's
+// context dies first.
+func (a *admission) slot(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFn(), nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		return nil, errSaturated
+	}
+	a.queued++
+	obsQueued.Set(float64(a.queued))
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		obsQueued.Set(float64(a.queued))
+		a.mu.Unlock()
+	}()
+
+	t := time.NewTimer(a.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFn(), nil
+	case <-t.C:
+		return nil, errSaturated
+	case <-ctx.Done():
+		if cause := context.Cause(ctx); cause != nil {
+			return nil, cause
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// queuedNow reports the current wait-queue depth (tests only).
+func (a *admission) queuedNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+func (a *admission) releaseFn() func() {
+	obsInflight.Set(float64(len(a.slots)))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.slots
+			obsInflight.Set(float64(len(a.slots)))
+		})
+	}
+}
+
+// retryAfterSaturated is the hint attached to 503 shed responses: the
+// shared backoff policy keyed by client, escalating with the queue
+// pressure is not tracked per client here, so attempt 0 — the jitter
+// alone already de-synchronises the herd.
+func (a *admission) retryAfterSaturated(client string) time.Duration {
+	return a.cfg.QueueWait/2 + a.cfg.RetryPolicy.Delay("saturated/"+client, 0)
+}

@@ -86,26 +86,49 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		obsMisses.Inc()
 		return nil, false
 	}
-	if len(blob) < headerSize || [4]byte(blob[:4]) != magic {
-		obsMisses.Inc()
-		return nil, false
-	}
-	if binary.LittleEndian.Uint32(blob[4:8]) != SchemaVersion {
-		obsMisses.Inc()
-		return nil, false
-	}
-	n := binary.LittleEndian.Uint64(blob[8:16])
-	payload := blob[headerSize:]
-	if uint64(len(payload)) != n {
-		obsMisses.Inc()
-		return nil, false
-	}
-	if sha256.Sum256(payload) != [sha256.Size]byte(blob[16:headerSize]) {
+	payload, ok := decodeEntry(blob)
+	if !ok {
 		obsMisses.Inc()
 		return nil, false
 	}
 	obsHits.Inc()
 	return payload, true
+}
+
+// decodeEntry validates one on-disk container and returns its payload.
+// Any defect — truncation, wrong magic, stale schema, length mismatch,
+// checksum mismatch — returns (nil, false): the entry is treated as a
+// miss and the caller re-solves live. It must never panic on arbitrary
+// bytes (FuzzEntryDecode holds it to that).
+func decodeEntry(blob []byte) ([]byte, bool) {
+	if len(blob) < headerSize || [4]byte(blob[:4]) != magic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(blob[4:8]) != SchemaVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(blob[8:16])
+	payload := blob[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	if sha256.Sum256(payload) != [sha256.Size]byte(blob[16:headerSize]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// encodeEntry builds the on-disk container around payload (the inverse
+// of decodeEntry).
+func encodeEntry(payload []byte) []byte {
+	blob := make([]byte, headerSize+len(payload))
+	copy(blob[:4], magic[:])
+	binary.LittleEndian.PutUint32(blob[4:8], SchemaVersion)
+	binary.LittleEndian.PutUint64(blob[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(blob[16:headerSize], sum[:])
+	copy(blob[headerSize:], payload)
+	return blob
 }
 
 // Put stores payload under key atomically (per-process-unique temp file
@@ -117,15 +140,7 @@ func (c *Cache) Put(key string, payload []byte) {
 	if c == nil {
 		return
 	}
-	blob := make([]byte, headerSize+len(payload))
-	copy(blob[:4], magic[:])
-	binary.LittleEndian.PutUint32(blob[4:8], SchemaVersion)
-	binary.LittleEndian.PutUint64(blob[8:16], uint64(len(payload)))
-	sum := sha256.Sum256(payload)
-	copy(blob[16:headerSize], sum[:])
-	copy(blob[headerSize:], payload)
-
-	if err := atomicio.WriteFile(c.dir, key+".bin", blob, 0o644); err != nil {
+	if err := atomicio.WriteFile(c.dir, key+".bin", encodeEntry(payload), 0o644); err != nil {
 		obsErrors.Inc()
 		return
 	}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// pprofWarnOnce gates the deprecation warning to one line per process,
+// however many flag sets resolve the alias.
+var pprofWarnOnce sync.Once
+
+// resetPprofWarnOnce is a test hook: the once above is process-global.
+func resetPprofWarnOnce() { pprofWarnOnce = sync.Once{} }
+
+// ResolvePprofAlias maps the deprecated -pprof flag onto -obs-addr for
+// the CLIs and the daemon. Setting both flags is an error; setting only
+// -pprof returns its value as the obs address after printing a one-time
+// deprecation warning to log (os.Stderr at the call sites) that names
+// the replacement flag. prog prefixes the warning ("reramsim",
+// "reramd", ...).
+//
+// Removal plan (also in the README): -pprof stays a warning-only alias
+// for two releases after the reramd daemon ships, then the flag is
+// dropped and only -obs-addr remains.
+func ResolvePprofAlias(prog, obsAddr, pprofAddr string, log io.Writer) (string, error) {
+	if pprofAddr == "" {
+		return obsAddr, nil
+	}
+	if obsAddr != "" {
+		return "", fmt.Errorf("-pprof is a deprecated alias for -obs-addr; set only -obs-addr")
+	}
+	pprofWarnOnce.Do(func() {
+		fmt.Fprintf(log, "%s: -pprof is deprecated and will be removed; use -obs-addr "+
+			"(same address also serves /metrics, /healthz, /readyz and /progress)\n", prog)
+	})
+	return pprofAddr, nil
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResolvePprofAlias(t *testing.T) {
+	resetPprofWarnOnce()
+	var log bytes.Buffer
+
+	// No alias in play: obs-addr passes through silently.
+	addr, err := ResolvePprofAlias("reramsim", "localhost:6060", "", &log)
+	if err != nil || addr != "localhost:6060" || log.Len() != 0 {
+		t.Fatalf("passthrough: addr=%q err=%v log=%q", addr, err, log.String())
+	}
+
+	// Alias alone: resolves, warns exactly once, names the replacement.
+	addr, err = ResolvePprofAlias("reramsim", "", "localhost:7070", &log)
+	if err != nil || addr != "localhost:7070" {
+		t.Fatalf("alias: addr=%q err=%v", addr, err)
+	}
+	warning := log.String()
+	if !strings.Contains(warning, "deprecated") || !strings.Contains(warning, "-obs-addr") {
+		t.Errorf("warning %q does not deprecate -pprof in favour of -obs-addr", warning)
+	}
+	if !strings.HasPrefix(warning, "reramsim:") {
+		t.Errorf("warning %q is not prefixed with the program name", warning)
+	}
+
+	// Second resolution in the same process: no second warning.
+	if _, err := ResolvePprofAlias("reramd", "", "localhost:7071", &log); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.String(); got != warning {
+		t.Errorf("warning printed more than once:\n%q", got)
+	}
+
+	// Both flags set: an error, not a silent pick.
+	if _, err := ResolvePprofAlias("reramsim", "a:1", "b:2", &log); err == nil {
+		t.Error("setting both -obs-addr and -pprof did not error")
+	}
+}
