@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve vuln bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve vuln staticcheck bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve bench-guard vuln
+ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve bench-guard vuln staticcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -70,6 +70,13 @@ vuln:
 	else \
 		echo "vuln: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
+# staticcheck when installed; advisory otherwise so offline CI passes.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -82,11 +89,14 @@ bench-guard:
 # Machine-readable micro-benchmark snapshot for the perf trajectory:
 # the PR4 solver/cost baselines (steady-state ResetOp regressions show
 # up against BENCH_PR4.json), the PR6 telemetry overheads (span on/off,
-# /metrics scrape render), and the PR7 served-request latency (full
-# HTTP round trip through admission + deadline setup).
+# /metrics scrape render), the PR7 served-request latency (full HTTP
+# round trip through admission + deadline setup), and the PR8 solver
+# modes (per-op vs SoA-batched solves, and the three modes' cold-path
+# pricing including the surrogate table).
 bench-json:
-	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape' \
+	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape|BenchmarkResetBatchSolver' \
 		-benchmem . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkServedSolve' -benchtime 500x -benchmem ./internal/serve/ ; } \
-		| $(GO) run ./cmd/bench2json > BENCH_PR7.json
-	@echo "wrote BENCH_PR7.json"
+	  $(GO) test -run xxx -bench 'BenchmarkServedSolve' -benchtime 500x -benchmem ./internal/serve/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSolverModesCold' -benchtime 10x -benchmem ./internal/core/ ; } \
+		| $(GO) run ./cmd/bench2json > BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"

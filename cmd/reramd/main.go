@@ -40,6 +40,8 @@ func run() int {
 		accesses = flag.Int("accesses", 20000, "memory accesses simulated per core")
 		jobsFlag = flag.Int("jobs", 0, "max parallel solves (0 = GOMAXPROCS)")
 
+		solverFlag = flag.String("solver", "exact", "default cold RESET-op pricing for requests that name none: exact (reference), batched (bit-identical SoA batch solves) or surrogate (calibrated table, bounded error)")
+
 		checkpointRoot = flag.String("checkpoint-root", "", "journal each sweep under <root>/<digest>/ (crash-safe; identical re-requested sweeps resume)")
 		cellTimeout    = flag.Duration("cell-timeout", 0, "per-cell deadline inside a sweep (0 = none); an exceeded cell is quarantined, not fatal")
 		solveCacheDir  = flag.String("solve-cache", "", "directory for the persistent solve cache (default: disabled)")
@@ -90,12 +92,18 @@ func run() int {
 		return fail(fmt.Errorf("calibration: %w", err))
 	}
 
+	defaultSolver, err := core.ParseSolverMode(*solverFlag)
+	if err != nil {
+		return fail(err)
+	}
+
 	srv, err := serve.Start(serve.Options{
 		Addr: *addr,
 		Backend: &serve.SuiteBackend{
 			Suite:          suite,
 			CheckpointRoot: *checkpointRoot,
 			CellTimeout:    *cellTimeout,
+			DefaultSolver:  defaultSolver,
 		},
 		Admission: serve.AdmissionConfig{
 			MaxInflight: *maxInflight,

@@ -72,6 +72,8 @@ func main() {
 
 		jobsFlag = flag.Int("jobs", 0, "max parallel simulations/solves (0 = GOMAXPROCS); output is identical at any setting")
 
+		solverFlag = flag.String("solver", "exact", "cold RESET-op pricing: exact (reference), batched (bit-identical SoA batch solves) or surrogate (calibrated table, bounded error)")
+
 		checkpointDir = flag.String("checkpoint-dir", "", "journal sweep cells to this directory (crash-safe; cold start)")
 		resumeDir     = flag.String("resume", "", "resume a journaled sweep from this checkpoint directory, skipping finished cells")
 		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell deadline in a sweep (0 = none); an exceeded cell is quarantined, not fatal")
@@ -180,6 +182,13 @@ func main() {
 	suite.MemCfg.FaultProfile = *faultProfile
 	suite.MemCfg.FaultSeed = *faultSeed
 	suite.MemCfg.MaxWriteRetries = *maxRetries
+	// After the MemCfg edits: the solver sub-suite snapshots the memory
+	// config at creation (it still follows the parent's context live).
+	solverMode, err := core.ParseSolverMode(*solverFlag)
+	if err != nil {
+		fail(err)
+	}
+	suite = suite.ForSolver(solverMode)
 	stack.SetReady(true) // suite calibrated: work can be admitted
 
 	if len(schemes) > 1 || len(workloads) > 1 || *checkpointDir != "" || *resumeDir != "" {

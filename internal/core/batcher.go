@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"reramsim/internal/xpoint"
+)
+
+// Batched-mode gathering: a memo miss waits up to batchGatherWindow for
+// concurrent misses (other sweep workers hitting their own cold keys) so
+// the solves run as one SoA batch; a full gather of batchMaxGather ops
+// flushes immediately. The window is ~¼ of one cold solve, so worst-case
+// added latency is small against the solve it amortizes.
+const (
+	batchGatherWindow = 200 * time.Microsecond
+	batchMaxGather    = 16
+)
+
+// opBatcher coalesces concurrent cold cost solves into batched array
+// calls. Safe for concurrent use; callers block until their op's result
+// lands.
+type opBatcher struct {
+	arr *xpoint.Array
+
+	mu      sync.Mutex
+	pending []*batchReq
+	timer   *time.Timer
+}
+
+type batchReq struct {
+	op   xpoint.ResetOp
+	res  xpoint.ResetResult
+	done chan error
+}
+
+func newOpBatcher(arr *xpoint.Array) *opBatcher {
+	return &opBatcher{arr: arr}
+}
+
+// solveOp prices key k through the gather. The flush runs on the timer
+// goroutine or on the caller that fills the gather — never on a borrowed
+// worker-pool slot, so callers blocked in opCost can never deadlock the
+// flush that would release them.
+func (b *opBatcher) solveOp(s *Scheme, k opKey) (opCost, error) {
+	r := &batchReq{op: s.opForKey(k), done: make(chan error, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, r)
+	if len(b.pending) == 1 {
+		b.timer = time.AfterFunc(batchGatherWindow, b.flush)
+		b.mu.Unlock()
+	} else if len(b.pending) >= batchMaxGather {
+		if b.timer != nil {
+			b.timer.Stop()
+			b.timer = nil
+		}
+		b.mu.Unlock()
+		b.flush()
+	} else {
+		b.mu.Unlock()
+	}
+	if err := <-r.done; err != nil {
+		return opCost{}, err
+	}
+	return s.costFromResult(r.op.Volts, &r.res), nil
+}
+
+// flush drains the gathered ops through one batch solve and releases
+// their waiters. Concurrent flushes (timer vs. gather-full) race
+// benignly: whoever locks first takes the pending set, the other finds
+// it empty.
+func (b *opBatcher) flush() {
+	b.mu.Lock()
+	reqs := b.pending
+	b.pending = nil
+	b.timer = nil
+	b.mu.Unlock()
+	if len(reqs) == 0 {
+		return
+	}
+	ops := make([]xpoint.ResetOp, len(reqs))
+	out := make([]xpoint.ResetResult, len(reqs))
+	for i, r := range reqs {
+		ops[i] = r.op
+	}
+	err := b.arr.SimulateResetBatch(ops, out)
+	for i, r := range reqs {
+		if err == nil {
+			r.res = out[i]
+		}
+		r.done <- err
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
 	"reramsim/internal/solvecache"
+	"reramsim/internal/surrogate"
 	"reramsim/internal/write"
 	"reramsim/internal/xpoint"
 )
@@ -73,10 +74,19 @@ type Scheme struct {
 
 	// Persistent solve cache (nil when disabled). Captured from the
 	// process-wide handle at construction; memoKey addresses this
-	// scheme's memo dump and flushMu serialises its rewrites.
-	cache   *solvecache.Cache
-	memoKey string
-	flushMu sync.Mutex
+	// scheme's memo dump ("" disables flushing) and flushMu serialises
+	// its rewrites.
+	cache         *solvecache.Cache
+	memoKey       string
+	persistDigest string
+	flushMu       sync.Mutex
+
+	// Solver mode state (EnableSolver). The zero value is SolverExact:
+	// every cold op prices through its own SimulateReset, the Tier-1
+	// reference behavior.
+	solver SolverMode
+	bat    *opBatcher
+	sur    *surrogate.Table
 }
 
 // memoShards is the number of independent memo partitions (power of two).
@@ -227,7 +237,8 @@ func NewScheme(name string, opt Options) (*Scheme, error) {
 		// the options digest; a warm directory seeds the whole cost table
 		// here, so a repeat sweep prices every op without touching the
 		// array solver.
-		s.memoKey = "memo-" + memoDigest(optDigest, levels)
+		s.persistDigest = memoDigest(optDigest, levels)
+		s.memoKey = "memo-" + s.persistDigest
 		if payload, ok := cache.Get(s.memoKey); ok {
 			s.preloadMemo(payload)
 		}
@@ -445,7 +456,7 @@ func (s *Scheme) opCost(k opKey) (opCost, error) {
 		if ok {
 			return c, nil
 		}
-		c, err := s.solveOp(k)
+		c, err := s.priceOp(k)
 		if err != nil {
 			return opCost{}, err
 		}
@@ -479,12 +490,12 @@ func canonicalMask(m uint8) uint8 {
 	return out
 }
 
-// solveOp runs the array model for the representative operation of key k.
-func (s *Scheme) solveOp(k opKey) (opCost, error) {
-	defer obs.SpanScope("core.solve_op")()
+// opForKey builds the representative (pessimistic) operation of key k:
+// the bucket's worst row and mux offset, with the mask's bits at their
+// escalated calibrated levels.
+func (s *Scheme) opForKey(k opKey) xpoint.ResetOp {
 	cfg := s.arr.Config()
 	muxW := cfg.MuxWidth()
-	// Representative (pessimistic) row and offset of the bucket.
 	sections := s.levels.Sections
 	row := int(k.section)*cfg.Size/sections + cfg.Size/sections - 1
 	offset := (int(k.offB)+1)*muxW/offsetBuckets - 1
@@ -498,14 +509,14 @@ func (s *Scheme) solveOp(k opKey) (opCost, error) {
 		cols = append(cols, cfg.ColumnOfBit(b, offset))
 		volts = append(volts, s.levels.Escalated(int(k.section), b, int(k.esc), EscalationStep, EscalationCap))
 	}
-	res, err := s.arr.SimulateReset(xpoint.ResetOp{Row: row, Cols: cols, Volts: volts})
-	if err != nil {
-		return opCost{}, err
-	}
+	return xpoint.ResetOp{Row: row, Cols: cols, Volts: volts}
+}
 
+// costFromResult prices a solved representative op.
+func (s *Scheme) costFromResult(volts []float64, res *xpoint.ResetResult) opCost {
 	// Cell-side energy: each cell integrates its own current over its own
 	// completion time; the sneak surplus burns for the whole op.
-	p := cfg.Params
+	p := s.arr.Config().Params
 	energy := 0.0
 	sumCell := 0.0
 	for i, v := range res.Veff {
@@ -541,7 +552,18 @@ func (s *Scheme) solveOp(k opKey) (opCost, error) {
 		itotal:  res.Itotal,
 		vmin:    res.MinVeff(),
 		failed:  res.Failed,
-	}, nil
+	}
+}
+
+// solveOp runs the array model for the representative operation of key k.
+func (s *Scheme) solveOp(k opKey) (opCost, error) {
+	defer obs.SpanScope("core.solve_op")()
+	op := s.opForKey(k)
+	res, err := s.arr.SimulateReset(op)
+	if err != nil {
+		return opCost{}, err
+	}
+	return s.costFromResult(op.Volts, res), nil
 }
 
 // MemoSize reports how many distinct operations the cost table holds

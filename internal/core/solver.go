@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"reramsim/internal/par"
+	"reramsim/internal/surrogate"
+	"reramsim/internal/xpoint"
+)
+
+// SolverMode selects how a Scheme prices cold RESET operations. The zero
+// value (SolverExact) is the Tier-1 reference: every memo miss runs its
+// own exact array solve.
+type SolverMode uint8
+
+const (
+	// SolverExact solves every cold op individually — the reference.
+	SolverExact SolverMode = iota
+	// SolverBatched gathers concurrent cold ops into SoA batch solves.
+	// Results are bit-identical to SolverExact (the batch kernel's
+	// differential tests enforce it); only the schedule changes.
+	SolverBatched
+	// SolverSurrogate prices ops from the calibrated interpolation table
+	// (internal/surrogate), within its documented error contract. Not a
+	// reference mode: results approximate the exact solver off-knot.
+	SolverSurrogate
+)
+
+// String returns the -solver flag spelling.
+func (m SolverMode) String() string {
+	switch m {
+	case SolverExact:
+		return "exact"
+	case SolverBatched:
+		return "batched"
+	case SolverSurrogate:
+		return "surrogate"
+	}
+	return fmt.Sprintf("solver(%d)", uint8(m))
+}
+
+// ParseSolverMode parses a -solver flag / request field value. The empty
+// string selects the exact default.
+func ParseSolverMode(s string) (SolverMode, error) {
+	switch s {
+	case "", "exact":
+		return SolverExact, nil
+	case "batched":
+		return SolverBatched, nil
+	case "surrogate":
+		return SolverSurrogate, nil
+	}
+	return SolverExact, fmt.Errorf("core: unknown solver %q (want exact, batched or surrogate)", s)
+}
+
+// EnableSolver switches the scheme's cold-op pricing strategy. Call it
+// right after NewScheme, before the scheme prices anything: it is not
+// safe concurrently with CostWrite, and switching to the surrogate resets
+// the cost memo (see below).
+//
+// Exact and batched modes share the memo and its persistent flushes —
+// their prices are bit-identical, so entries are interchangeable.
+// Surrogate mode must not mix with them: enabling it drops any preloaded
+// exact entries (results would otherwise depend on cache warmth) and
+// disables memo persistence (approximate prices must never seed an exact
+// run). Building the surrogate solves its calibration grid through the
+// batched solver once; with a persistent solve cache installed the built
+// table is stored under the scheme's content digest and reloaded on the
+// next process.
+func (s *Scheme) EnableSolver(mode SolverMode) error {
+	switch mode {
+	case SolverExact:
+		s.solver, s.bat, s.sur = SolverExact, nil, nil
+		s.restoreMemoKey()
+	case SolverBatched:
+		s.solver, s.bat, s.sur = SolverBatched, newOpBatcher(s.arr), nil
+		s.restoreMemoKey()
+	case SolverSurrogate:
+		if s.opt.ExactMasks {
+			return fmt.Errorf("core: the surrogate solver requires canonical masks (ExactMasks is set)")
+		}
+		tbl, err := s.buildSurrogate()
+		if err != nil {
+			return fmt.Errorf("core: building surrogate: %w", err)
+		}
+		s.solver, s.bat, s.sur = SolverSurrogate, nil, tbl
+		for i := range s.memo {
+			sh := &s.memo[i]
+			sh.mu.Lock()
+			sh.m = make(map[opKey]opCost)
+			sh.mu.Unlock()
+		}
+		s.memoKey = ""
+	default:
+		return fmt.Errorf("core: unknown solver mode %d", mode)
+	}
+	return nil
+}
+
+// Solver returns the scheme's active solver mode.
+func (s *Scheme) Solver() SolverMode { return s.solver }
+
+// restoreMemoKey re-enables memo persistence after a surrogate episode.
+func (s *Scheme) restoreMemoKey() {
+	if s.cache != nil && s.persistDigest != "" {
+		s.memoKey = "memo-" + s.persistDigest
+	}
+}
+
+// priceOp is the solver-mode dispatch behind every memo miss.
+func (s *Scheme) priceOp(k opKey) (opCost, error) {
+	switch s.solver {
+	case SolverSurrogate:
+		if c, ok := s.surrogateCost(k); ok {
+			return c, nil
+		}
+		// Outside the table (shouldn't happen for canonical keys): the
+		// exact solver is always a sound fallback.
+		return s.solveOp(k)
+	case SolverBatched:
+		return s.bat.solveOp(s, k)
+	default:
+		return s.solveOp(k)
+	}
+}
+
+// surrogateCost prices k from the interpolation table. The failure flag
+// re-derives exactly as the solver does: an op fails iff its smallest
+// delivered effective voltage is below the write threshold.
+func (s *Scheme) surrogateCost(k opKey) (opCost, bool) {
+	sm, ok := s.sur.Eval(int(k.section), int(k.offB), k.mask, int(k.esc))
+	if !ok {
+		return opCost{}, false
+	}
+	return opCost{
+		latency: sm.Latency,
+		energy:  sm.Energy,
+		itotal:  sm.Itotal,
+		vmin:    sm.Vmin,
+		failed:  sm.Vmin < s.arr.Config().Params.VwriteMin,
+	}, true
+}
+
+// canonicalClasses enumerates the distinct canonicalMask images of every
+// non-empty 8-bit mask: the (bit count, right-most mux) latency classes.
+func canonicalClasses() []uint8 {
+	seen := map[uint8]bool{}
+	var out []uint8
+	for m := 1; m < 256; m++ {
+		c := canonicalMask(uint8(m))
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// escDenseMax bounds the densely sampled escalation prefix. Each mux's
+// level clamps at EscalationCap at its own escalation, so the op cost has
+// per-mux kinks everywhere below maxEsc — no smooth segment exists to
+// interpolate across (measured interpolation errors reach ~50% there).
+// The axis is short, though: maxEsc = ceil((cap - minLevel)/step), and
+// every physical level table sits within ~1.6 V of the 3.94 V cap, so
+// maxEsc <= ~16 and dense knots make the whole reachable domain exact.
+// Strides beyond escDenseMax would need a table whose minimum level is
+// below 3.94 - 3.2 = 0.74 V — under any write threshold — and exist only
+// to bound the grid for pathological configs.
+const escDenseMax = 32
+
+// escKnots builds the escalation sample points: every step up to
+// min(maxEsc, escDenseMax) — on-knot, therefore exact — then widening
+// strides to maxEsc, where every level is pinned at the cap and the op
+// goes constant.
+func escKnots(maxEsc int) []int {
+	knots := []int{0}
+	for k := 1; k <= maxEsc && k <= escDenseMax; k++ {
+		knots = append(knots, k)
+	}
+	step := 2
+	for knots[len(knots)-1] < maxEsc {
+		next := knots[len(knots)-1] + step
+		if next > maxEsc {
+			next = maxEsc
+		}
+		knots = append(knots, next)
+		step = step*3/2 + 1
+	}
+	return knots
+}
+
+// buildSurrogate assembles (or reloads) the scheme's interpolation table:
+// a dense (section, offset bucket, canonical class) grid with escalation
+// knots, every point solved exactly through the batched solver.
+func (s *Scheme) buildSurrogate() (*surrogate.Table, error) {
+	minLevel := math.Inf(1)
+	for _, row := range s.levels.V {
+		for _, v := range row {
+			if v < minLevel {
+				minLevel = v
+			}
+		}
+	}
+	maxEsc := int(math.Ceil((EscalationCap - minLevel) / EscalationStep))
+	if maxEsc < 0 {
+		maxEsc = 0
+	}
+	if maxEsc > 255 {
+		maxEsc = 255 // opKey.esc is uint8; nothing beyond is addressable
+	}
+	spec := surrogate.Spec{
+		Sections:   s.levels.Sections,
+		OffBuckets: offsetBuckets,
+		Classes:    canonicalClasses(),
+		EscKnots:   escKnots(maxEsc),
+		MaxEsc:     maxEsc,
+		EvalBatch:  s.evalSurrogateGrid,
+	}
+
+	var key string
+	if s.cache != nil && s.persistDigest != "" {
+		key = "surrogate-" + s.persistDigest
+		if payload, ok := s.cache.Get(key); ok {
+			if t, ok := surrogate.Decode(payload); ok && t.GridSize() == spec.Sections*spec.OffBuckets*len(spec.Classes)*len(spec.EscKnots) {
+				return t, nil
+			}
+		}
+	}
+	t, err := surrogate.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		s.cache.Put(key, t.Encode())
+	}
+	return t, nil
+}
+
+// evalSurrogateGrid solves the surrogate's grid points exactly: slabs of
+// points fan out over the worker pool, each slab one SoA batch solve.
+func (s *Scheme) evalSurrogateGrid(pts []surrogate.Point) ([]surrogate.Sample, error) {
+	out := make([]surrogate.Sample, len(pts))
+	const slab = 64
+	nSlabs := (len(pts) + slab - 1) / slab
+	err := par.ForEach(context.Background(), nSlabs, func(i int) error {
+		lo := i * slab
+		hi := lo + slab
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		ops := make([]xpoint.ResetOp, hi-lo)
+		res := make([]xpoint.ResetResult, hi-lo)
+		for j := lo; j < hi; j++ {
+			p := pts[j]
+			ops[j-lo] = s.opForKey(opKey{section: uint8(p.Section), offB: uint8(p.OffB), mask: p.Class, esc: uint8(p.Esc)})
+		}
+		if err := s.arr.SimulateResetBatch(ops, res); err != nil {
+			return err
+		}
+		for j := lo; j < hi; j++ {
+			c := s.costFromResult(ops[j-lo].Volts, &res[j-lo])
+			out[j] = surrogate.Sample{Latency: c.latency, Energy: c.energy, Itotal: c.itotal, Vmin: c.vmin}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

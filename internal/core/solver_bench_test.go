@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"reramsim/internal/write"
+)
+
+type coldQuery struct {
+	row, off int
+	lw       write.LineWrite
+}
+
+// coldQueries is the write set BenchmarkSolverModesCold prices each
+// iteration: a spread of rows, offsets and mask mixes wide enough to
+// touch several distinct op keys per line.
+func coldQueries() []coldQuery {
+	qs := make([]coldQuery, 24)
+	for i := range qs {
+		var lw write.LineWrite
+		for a := range lw.Arrays {
+			lw.Arrays[a] = write.ArrayWrite{Reset: uint8(i*37 + a*11), Set: uint8(a * 3)}
+		}
+		qs[i] = coldQuery{row: (i * 97) % 512, off: (i * 13) % 64, lw: lw}
+	}
+	return qs
+}
+
+// BenchmarkSolverModesCold compares the three solver modes on the cold
+// path. Each iteration drops the cost memo, so every query re-pays its
+// mode's pricing: per-op exact array solves, gathered SoA batch solves,
+// or surrogate table evaluations (the surrogate's grid build runs once
+// in setup, outside the timer). Queries are issued concurrently — the
+// way sweep workers issue them — which is what gives the batched mode
+// ops to gather.
+func BenchmarkSolverModesCold(b *testing.B) {
+	if testing.Short() {
+		b.Skip("calibration + surrogate build in -short")
+	}
+	qs := coldQueries()
+	run := func(b *testing.B, s *Scheme) {
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for i := range s.memo {
+				sh := &s.memo[i]
+				sh.mu.Lock()
+				sh.m = make(map[opKey]opCost)
+				sh.mu.Unlock()
+			}
+			var wg sync.WaitGroup
+			for _, q := range qs {
+				wg.Add(1)
+				go func(q coldQuery) {
+					defer wg.Done()
+					if _, err := s.CostWrite(q.row, q.off, q.lw); err != nil {
+						b.Error(err)
+					}
+				}(q)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		s, err := UDRVRPR(testConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s)
+	})
+	b.Run("batched", func(b *testing.B) {
+		s, err := UDRVRPR(testConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.EnableSolver(SolverBatched); err != nil {
+			b.Fatal(err)
+		}
+		run(b, s)
+	})
+	b.Run("surrogate", func(b *testing.B) {
+		s, err := surrogateScheme()
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s)
+	})
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"reramsim/internal/write"
+	"reramsim/internal/xpoint"
+)
+
+func TestParseSolverMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SolverMode
+	}{
+		{"", SolverExact},
+		{"exact", SolverExact},
+		{"batched", SolverBatched},
+		{"surrogate", SolverSurrogate},
+	}
+	for _, c := range cases {
+		got, err := ParseSolverMode(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseSolverMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if got.String() == "" {
+			t.Errorf("SolverMode(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseSolverMode("magic"); err == nil {
+		t.Error("ParseSolverMode(magic): want error")
+	}
+}
+
+// TestBatchedSolverMatchesExact: batched mode must price writes
+// bit-identically to the exact per-op solver — only the solve schedule
+// changes. Concurrent CostWrite calls exercise the gather window.
+func TestBatchedSolverMatchesExact(t *testing.T) {
+	exact := mustScheme(t, UDRVRPR)
+	batched := mustScheme(t, UDRVRPR)
+	if err := batched.EnableSolver(SolverBatched); err != nil {
+		t.Fatal(err)
+	}
+	if batched.Solver() != SolverBatched {
+		t.Fatalf("Solver() = %v, want batched", batched.Solver())
+	}
+
+	type q struct {
+		row, off int
+		lw       write.LineWrite
+	}
+	var qs []q
+	for i := 0; i < 24; i++ {
+		var lw write.LineWrite
+		for a := range lw.Arrays {
+			lw.Arrays[a] = write.ArrayWrite{Reset: uint8(i*37 + a*11), Set: uint8(a * 3)}
+		}
+		qs = append(qs, q{row: (i * 97) % 512, off: (i * 13) % 64, lw: lw})
+	}
+
+	want := make([]LineCost, len(qs))
+	for i, c := range qs {
+		var err error
+		want[i], err = exact.CostWrite(c.row, c.off, c.lw)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]LineCost, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, c := range qs {
+		wg.Add(1)
+		go func(i int, c q) {
+			defer wg.Done()
+			got[i], errs[i] = batched.CostWrite(c.row, c.off, c.lw)
+		}(i, c)
+	}
+	wg.Wait()
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("query %d: batched %+v != exact %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSurrogateRequiresCanonicalMasks(t *testing.T) {
+	s := mustScheme(t, func(cfg xpoint.Config) (*Scheme, error) {
+		return NewScheme("exact-masks", Options{Array: cfg, ExactMasks: true})
+	})
+	if err := s.EnableSolver(SolverSurrogate); err == nil {
+		t.Fatal("EnableSolver(surrogate) with ExactMasks: want error")
+	}
+	if s.Solver() != SolverExact {
+		t.Errorf("failed enable must leave the exact solver active, got %v", s.Solver())
+	}
+}
+
+// surrogateScheme builds one UDRVR+PR scheme with the surrogate enabled,
+// shared across the surrogate tests (the grid build solves ~10k points).
+var surrogateScheme = sync.OnceValues(func() (*Scheme, error) {
+	s, err := UDRVRPR(testConfig())
+	if err != nil {
+		return nil, err
+	}
+	// Seed the memo with an exact price to prove EnableSolver drops it.
+	if _, err := s.CostWrite(100, 10, write.LineWrite{Arrays: [write.LineBytes]write.ArrayWrite{{Reset: 0x81}}}); err != nil {
+		return nil, err
+	}
+	if s.MemoSize() == 0 {
+		return nil, fmt.Errorf("memo empty after exact CostWrite")
+	}
+	if err := s.EnableSolver(SolverSurrogate); err != nil {
+		return nil, err
+	}
+	return s, nil
+})
+
+// TestSurrogateMemoIsolation: enabling the surrogate must drop every
+// preloaded exact memo entry and disable memo persistence, so approximate
+// prices never leak into (or depend on) exact state.
+func TestSurrogateMemoIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surrogate grid build in -short")
+	}
+	s, err := surrogateScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solver() != SolverSurrogate {
+		t.Fatalf("Solver() = %v, want surrogate", s.Solver())
+	}
+	if s.memoKey != "" {
+		t.Errorf("surrogate mode left memoKey %q; persistence must be off", s.memoKey)
+	}
+}
+
+// TestSurrogateErrorBounds sweeps the whole reachable escalation axis —
+// every step up to the table's maximum plus the clamp region beyond —
+// across sections, offset buckets and representative mask classes,
+// comparing surrogate prices against the exact solver. Core-built tables
+// place a knot on every saturating escalation (the cost curve kinks
+// throughout that region, so nothing may be interpolated there): every
+// one of these queries must return the exact solver's price to the bit,
+// the strongest form of the surrogate error contract. The interpolation
+// path for sparse (decoded) tables is bounded by the tests in
+// internal/surrogate.
+func TestSurrogateErrorBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surrogate grid build in -short")
+	}
+	s, err := surrogateScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	knots := s.sur.Knots()
+	maxEsc := knots[len(knots)-1]
+	if maxEsc > escDenseMax {
+		t.Fatalf("maxEsc %d beyond the dense prefix %d: this config's table is not knot-complete", maxEsc, escDenseMax)
+	}
+	if len(knots) != maxEsc+1 {
+		t.Fatalf("knots %v not dense over 0..%d", knots, maxEsc)
+	}
+
+	masks := []uint8{0x80, 0x01, 0x0F, 0xF0, 0xFF, 0xAA}
+	checked := 0
+	for _, section := range []int{0, 3, 7} {
+		for _, offB := range []int{0, 3} {
+			for _, m := range masks {
+				class := canonicalMask(m)
+				// +3 exercises the beyond-MaxEsc clamp, exact because
+				// every level is pinned at the cap there.
+				for esc := 0; esc <= maxEsc+3; esc++ {
+					k := opKey{section: uint8(section), offB: uint8(offB), mask: class, esc: uint8(esc)}
+					got, ok := s.surrogateCost(k)
+					if !ok {
+						t.Fatalf("surrogate rejected canonical key %+v", k)
+					}
+					want, err := s.solveOp(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("key %+v: surrogate %+v != exact %+v", k, got, want)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	t.Logf("%d keys checked exactly (maxEsc %d)", checked, maxEsc)
+}
+
+// TestCalibrationMatchesSerialReference: the lockstep (batched)
+// calibrations must reproduce the per-section serial iteration bit for
+// bit — sections are independent and every batched solve is bit-identical
+// to its serial counterpart.
+func TestCalibrationMatchesSerialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration in -short")
+	}
+	cfg := testConfig()
+	arr, err := xpoint.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV := cfg.Params.VwriteMin + 0.3
+
+	drvr, err := CalibrateDRVR(arr, MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CalibrateUDRVR(arr, drvr, minV, MaxLevel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serialUDRVR(arr, drvr, minV, MaxLevel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTables(t, "UDRVR", got, want)
+
+	gotTE, err := CalibrateTargetEff(arr, 2.5, minV, 3.94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTE, err := serialTargetEff(arr, 2.5, minV, 3.94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTables(t, "TargetEff", gotTE, wantTE)
+}
+
+func compareTables(t *testing.T, name string, got, want *LevelTable) {
+	t.Helper()
+	if got.Sections != want.Sections || got.Muxes != want.Muxes {
+		t.Fatalf("%s: shape (%d,%d) != (%d,%d)", name, got.Sections, got.Muxes, want.Sections, want.Muxes)
+	}
+	for s := range want.V {
+		for m := range want.V[s] {
+			if math.Float64bits(got.V[s][m]) != math.Float64bits(want.V[s][m]) {
+				t.Errorf("%s: V[%d][%d] = %v, serial %v", name, s, m, got.V[s][m], want.V[s][m])
+			}
+		}
+	}
+}
+
+// serialUDRVR is the pre-batching CalibrateUDRVR: per-section sequential
+// solves through effInContext. Kept as the reference iteration.
+func serialUDRVR(arr *xpoint.Array, drvr *LevelTable, minV, maxV float64, prContext bool) (*LevelTable, error) {
+	cfg := arr.Config()
+	muxes := cfg.DataWidth
+	t := FlatLevels(drvr.Sections, muxes, cfg.Params.Vrst)
+	for s := range t.V {
+		copy(t.V[s], drvr.V[s])
+	}
+	for s := 0; s < t.Sections; s++ {
+		row := sectionMidRow(s, t.Sections, cfg.Size)
+		target, err := effInContext(arr, t, s, row, muxes-1, prContext)
+		if err != nil {
+			return nil, err
+		}
+		for pass := 0; pass < 3; pass++ {
+			for m := muxes - 2; m >= 0; m-- {
+				eff, err := effInContext(arr, t, s, row, m, prContext)
+				if err != nil {
+					return nil, err
+				}
+				level := t.V[s][m] + (target - eff)
+				if level < minV {
+					level = minV
+				}
+				if level > maxV {
+					level = maxV
+				}
+				t.V[s][m] = level
+			}
+		}
+	}
+	return t, nil
+}
+
+// serialTargetEff is the pre-batching CalibrateTargetEff: per-section
+// sequential solveLevel secants.
+func serialTargetEff(arr *xpoint.Array, targetEff, minV, maxV float64) (*LevelTable, error) {
+	cfg := arr.Config()
+	muxes := cfg.DataWidth
+	muxW := cfg.MuxWidth()
+	t := FlatLevels(Sections, muxes, cfg.Params.Vrst)
+	for s := 0; s < Sections; s++ {
+		row := sectionMidRow(s, Sections, cfg.Size)
+		for m := muxes - 1; m >= 0; m-- {
+			start := cfg.Params.Vrst
+			if m < muxes-1 {
+				start = t.V[s][m+1]
+			}
+			level, err := solveLevel(arr, row, m*muxW+muxW/2, targetEff, start, minV, maxV)
+			if err != nil {
+				return nil, err
+			}
+			t.V[s][m] = level
+		}
+	}
+	return t, nil
+}

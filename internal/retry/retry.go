@@ -15,6 +15,7 @@ package retry
 
 import (
 	"context"
+	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
 	"time"
@@ -57,11 +58,18 @@ func (p Policy) Delay(key string, attempt int) time.Duration {
 	return d/2 + time.Duration(jitterRNG(key, attempt).Int63n(int64(d)+1))
 }
 
-// jitterRNG seeds a private RNG from (key, attempt).
+// jitterRNG seeds a private RNG from (key, attempt). The attempt is
+// folded into the hash input, not added to the seed: seeding with
+// hash(key)+attempt would give key A at attempt n+1 the identical jitter
+// stream of any key whose hash is one greater at attempt n, silently
+// re-synchronising exactly the callers the jitter exists to spread.
 func jitterRNG(key string, attempt int) *rand.Rand {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return rand.New(rand.NewSource(int64(h.Sum64()) + int64(attempt)))
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], uint64(attempt))
+	h.Write(a[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 // Sleep blocks for d or until ctx is cancelled, whichever comes first.

@@ -2,6 +2,8 @@ package retry
 
 import (
 	"context"
+	"hash/fnv"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -51,6 +53,64 @@ func TestDelayKeysSpread(t *testing.T) {
 	}
 	if len(seen) < 2 {
 		t.Errorf("8 keys produced %d distinct delays; jitter is not per-key", len(seen))
+	}
+}
+
+// TestDelayGolden pins the exact delays of the (key‖attempt)-hashed
+// jitter. math/rand's generator is platform-independent, so these bytes
+// hold everywhere; a change here means the jitter schedule of every
+// deployed retrying client and job changed, which is worth noticing.
+func TestDelayGolden(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second}
+	fixtures := []struct {
+		key     string
+		attempt int
+		want    time.Duration
+	}{
+		{"UDRVR+PR/mcf_m", 0, 143453671},
+		{"UDRVR+PR/mcf_m", 1, 242446262},
+		{"UDRVR+PR/mcf_m", 2, 528420974},
+		{"UDRVR+PR/mcf_m", 3, 785616828},
+		{"client:10.0.0.7", 0, 94233975},
+		{"client:10.0.0.7", 1, 190424945},
+		{"client:10.0.0.7", 2, 364453165},
+		{"client:10.0.0.7", 3, 526310107},
+		{"cell/3", 0, 142097255},
+		{"cell/3", 1, 186598398},
+		{"cell/3", 2, 598398657},
+		{"cell/3", 3, 712742303},
+	}
+	for _, f := range fixtures {
+		if got := p.Delay(f.key, f.attempt); got != f.want {
+			t.Errorf("Delay(%q, %d) = %d, want %d", f.key, f.attempt, got, f.want)
+		}
+	}
+}
+
+// TestJitterAttemptFoldedIntoHash is the regression test for the jitter
+// stream collision: the old seeding (hash(key) + attempt) meant key A at
+// attempt n+1 shared its whole jitter stream with any key whose fnv64a
+// hash is one greater at attempt n. Constructing a real colliding key
+// pair means inverting fnv64a, so the test pins the fix structurally:
+// delays must no longer follow the additive-seed scheme at all.
+func TestJitterAttemptFoldedIntoHash(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second}
+	h := fnv.New64a()
+	h.Write([]byte("k"))
+	base := int64(h.Sum64())
+	same := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		d := p.Initial << uint(attempt)
+		if d <= 0 || d > p.Max {
+			d = p.Max
+		}
+		old := d/2 + time.Duration(rand.New(rand.NewSource(base+int64(attempt))).Int63n(int64(d)+1))
+		if p.Delay("k", attempt) == old {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("every delay matches the additive hash+attempt seeding; attempt is not folded into the hash input")
 	}
 }
 

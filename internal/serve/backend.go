@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/jobs"
 )
@@ -16,19 +17,22 @@ import (
 // production implementation is SuiteBackend; tests substitute doubles
 // with controllable latency, failures and panics.
 type Backend interface {
-	// Validate rejects an unknown scheme or workload with a descriptive
-	// error (mapped to 400).
-	Validate(scheme, workload string) error
+	// Validate rejects an unknown scheme, workload or solver mode with a
+	// descriptive error (mapped to 400). The empty solver selects the
+	// backend's default.
+	Validate(scheme, workload, solver string) error
 	// Digest derives the content-addressed identity of a sweep grid:
 	// two requests with equal digests are the same question and share
-	// one execution.
-	Digest(pairs []experiments.SimPair) (string, error)
-	// Solve runs one (scheme, workload) simulation under ctx.
-	Solve(ctx context.Context, scheme, workload string) (json.RawMessage, error)
+	// one execution. The solver mode is part of the identity — modes may
+	// price writes differently and must not share results.
+	Digest(pairs []experiments.SimPair, solver string) (string, error)
+	// Solve runs one (scheme, workload) simulation under ctx through the
+	// requested solver mode.
+	Solve(ctx context.Context, scheme, workload, solver string) (json.RawMessage, error)
 	// Sweep runs a grid under ctx as crash-safe jobs. onProgress, when
 	// non-nil, receives a live progress source once the engine exists
 	// (feeding the /v1/jobs SSE stream).
-	Sweep(ctx context.Context, digest string, pairs []experiments.SimPair,
+	Sweep(ctx context.Context, digest string, pairs []experiments.SimPair, solver string,
 		onProgress func(func() jobs.Progress)) (*jobs.Report, error)
 }
 
@@ -44,13 +48,37 @@ type SuiteBackend struct {
 	CheckpointRoot string
 	// CellTimeout bounds each grid cell (jobs.Options.CellTimeout).
 	CellTimeout time.Duration
+	// DefaultSolver handles requests that leave the solver field empty
+	// (the -solver flag of reramd). The zero value is the exact solver.
+	DefaultSolver core.SolverMode
 }
 
-func (b *SuiteBackend) Validate(scheme, workload string) error {
+func (b *SuiteBackend) Validate(scheme, workload, solver string) error {
 	if err := validateName("scheme", scheme, experiments.SchemeNames()); err != nil {
 		return err
 	}
-	return validateName("workload", workload, experiments.Workloads())
+	if err := validateName("workload", workload, experiments.Workloads()); err != nil {
+		return err
+	}
+	if solver != "" {
+		if _, err := core.ParseSolverMode(solver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteFor resolves the request's solver mode (empty = the backend
+// default) to its suite.
+func (b *SuiteBackend) suiteFor(solver string) (*experiments.Suite, error) {
+	mode := b.DefaultSolver
+	if solver != "" {
+		var err error
+		if mode, err = core.ParseSolverMode(solver); err != nil {
+			return nil, err
+		}
+	}
+	return b.Suite.ForSolver(mode), nil
 }
 
 // validateName mirrors the CLIs' did-you-mean behaviour for the API.
@@ -66,20 +94,32 @@ func validateName(kind, name string, valid []string) error {
 	return fmt.Errorf("unknown %s %q (valid: %s)", kind, name, strings.Join(valid, ", "))
 }
 
-func (b *SuiteBackend) Digest(pairs []experiments.SimPair) (string, error) {
-	return b.Suite.GridDigest(pairs)
+func (b *SuiteBackend) Digest(pairs []experiments.SimPair, solver string) (string, error) {
+	suite, err := b.suiteFor(solver)
+	if err != nil {
+		return "", err
+	}
+	return suite.GridDigest(pairs)
 }
 
-func (b *SuiteBackend) Solve(ctx context.Context, scheme, workload string) (json.RawMessage, error) {
-	r, err := b.Suite.SimContext(ctx, scheme, workload)
+func (b *SuiteBackend) Solve(ctx context.Context, scheme, workload, solver string) (json.RawMessage, error) {
+	suite, err := b.suiteFor(solver)
+	if err != nil {
+		return nil, err
+	}
+	r, err := suite.SimContext(ctx, scheme, workload)
 	if err != nil {
 		return nil, err
 	}
 	return json.Marshal(r)
 }
 
-func (b *SuiteBackend) Sweep(ctx context.Context, digest string, pairs []experiments.SimPair,
+func (b *SuiteBackend) Sweep(ctx context.Context, digest string, pairs []experiments.SimPair, solver string,
 	onProgress func(func() jobs.Progress)) (*jobs.Report, error) {
+	suite, err := b.suiteFor(solver)
+	if err != nil {
+		return nil, err
+	}
 	opts := jobs.Options{CellTimeout: b.CellTimeout}
 	if b.CheckpointRoot != "" {
 		// One journal directory per grid digest: different grids never
@@ -96,5 +136,5 @@ func (b *SuiteBackend) Sweep(ctx context.Context, digest string, pairs []experim
 	if onProgress != nil {
 		onProgress(eng.Progress)
 	}
-	return b.Suite.RunGridContext(ctx, eng, pairs)
+	return suite.RunGridContext(ctx, eng, pairs)
 }

@@ -37,22 +37,27 @@ type stubBackend struct {
 	sweeps atomic.Int64
 }
 
-func (b *stubBackend) Validate(scheme, workload string) error {
+func (b *stubBackend) Validate(scheme, workload, solver string) error {
 	if scheme == "nope" || workload == "nope" {
 		return fmt.Errorf("unknown name %q", "nope")
 	}
-	return nil
+	switch solver {
+	case "", "exact", "batched", "surrogate":
+		return nil
+	}
+	return fmt.Errorf("unknown solver %q", solver)
 }
 
-func (b *stubBackend) Digest(pairs []experiments.SimPair) (string, error) {
+func (b *stubBackend) Digest(pairs []experiments.SimPair, solver string) (string, error) {
 	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", solver)
 	for _, p := range pairs {
 		fmt.Fprintf(h, "%s\x00%s\x00", p.Scheme, p.Workload)
 	}
 	return "stub-" + hex.EncodeToString(h.Sum(nil)), nil
 }
 
-func (b *stubBackend) Solve(ctx context.Context, scheme, workload string) (json.RawMessage, error) {
+func (b *stubBackend) Solve(ctx context.Context, scheme, workload, solver string) (json.RawMessage, error) {
 	b.solves.Add(1)
 	if b.solveDelay > 0 {
 		t := time.NewTimer(b.solveDelay)
@@ -66,7 +71,7 @@ func (b *stubBackend) Solve(ctx context.Context, scheme, workload string) (json.
 	return json.Marshal(map[string]string{"scheme": scheme, "workload": workload})
 }
 
-func (b *stubBackend) Sweep(ctx context.Context, digest string, pairs []experiments.SimPair,
+func (b *stubBackend) Sweep(ctx context.Context, digest string, pairs []experiments.SimPair, solver string,
 	onProgress func(func() jobs.Progress)) (*jobs.Report, error) {
 	b.sweeps.Add(1)
 	if b.sweepStarted != nil {
@@ -178,6 +183,47 @@ func TestSolveOK(t *testing.T) {
 	}
 	if out.Scheme != "A" || out.Workload != "w" {
 		t.Fatalf("echo mismatch: %+v", out)
+	}
+}
+
+// TestSolverField: the optional solver request field flows through
+// validation (400 on an unknown mode) and into the sweep digest, so the
+// same grid under different solvers never dedups onto one job.
+func TestSolverField(t *testing.T) {
+	b := &stubBackend{}
+	s := startTestServer(t, b, nil)
+	solveURL := "http://" + s.Addr() + "/v1/solve"
+	if resp, body := postJSON(t, solveURL, "",
+		map[string]any{"scheme": "A", "workload": "w", "solver": "batched"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solver=batched: status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, solveURL, "",
+		map[string]any{"scheme": "A", "workload": "w", "solver": "magic"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("solver=magic: status = %d, body %s", resp.StatusCode, body)
+	}
+
+	sweepURL := "http://" + s.Addr() + "/v1/sweep"
+	digests := map[string]bool{}
+	for _, solver := range []string{"", "surrogate"} {
+		resp, body := postJSON(t, sweepURL, "", map[string]any{
+			"schemes": []string{"A"}, "workloads": []string{"w"}, "solver": solver, "wait": true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep solver=%q: status = %d, body %s", solver, resp.StatusCode, body)
+		}
+		var doc struct {
+			Digest string `json:"digest"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		digests[doc.Digest] = true
+	}
+	if len(digests) != 2 {
+		t.Errorf("solver modes share a sweep digest: %v", digests)
+	}
+	if got := b.sweeps.Load(); got != 2 {
+		t.Errorf("sweeps = %d, want 2 (one per solver mode)", got)
 	}
 }
 

@@ -1,0 +1,296 @@
+// Package surrogate implements a table-interpolated stand-in for the
+// exact RESET cost solver: a dense grid over (section, offset bucket,
+// canonical mask class) with an interpolated escalation axis. The grid is
+// populated once from the exact solver (batched), after which every
+// lookup is a few array indexings — the accuracy-for-speed trade the
+// solver-mode flag exposes.
+//
+// Accuracy contract (validated by tests against the exact solver, see
+// DESIGN.md §14):
+//
+//   - On-knot queries — every (section, offB, class) at an escalation in
+//     EscKnots — return the exact solver's sample verbatim. The core
+//     builder places a knot on every escalation of the saturating region
+//     (levels clamp at the cap at per-mux escalations, so the cost curve
+//     kinks throughout it), which for every physical configuration covers
+//     the whole reachable axis: such tables are exact everywhere.
+//   - Off-knot escalations — only reachable through a sparse-knot table,
+//     e.g. a decoded one — interpolate: latency and energy geometrically
+//     (RESET latency is exponential in the applied voltage, so its log is
+//     nearly affine in the escalation), total current and minimum
+//     effective voltage linearly. On kink-free segments the errors stay
+//     within MaxLatencyRelErr / MaxEnergyRelErr / MaxItotalRelErr /
+//     MaxVminAbsErr.
+//   - Escalations at or beyond MaxEsc clamp to the MaxEsc sample, which
+//     is exact: every level is pinned at the escalation cap there, so the
+//     underlying operation no longer changes.
+package surrogate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Documented interpolation error bounds of off-knot queries on kink-free
+// knot segments, relative to the exact solver. The error-bound tests
+// sweep the calibration domain (asserting exactness, since core-built
+// knots are dense) and the interpolation path on modelled curves, and
+// fail if any sample exceeds them.
+const (
+	MaxLatencyRelErr = 0.05
+	MaxEnergyRelErr  = 0.05
+	MaxItotalRelErr  = 0.05
+	MaxVminAbsErr    = 0.02 // volts
+)
+
+// Sample is one exact-solver evaluation: the cost-model outputs the
+// scheme layer prices writes from.
+type Sample struct {
+	Latency float64 // bounded op latency (s)
+	Energy  float64 // delivered cell-side energy (J)
+	Itotal  float64 // decoder return current (A)
+	Vmin    float64 // smallest delivered effective Vrst (V)
+}
+
+// Point identifies one grid evaluation.
+type Point struct {
+	Section, OffB int
+	Class         uint8
+	Esc           int
+}
+
+// Spec declares the grid and how to evaluate it exactly. The package
+// stays solver-agnostic: the caller (internal/core) supplies EvalBatch,
+// typically backed by the batched array solver.
+type Spec struct {
+	Sections   int
+	OffBuckets int
+	Classes    []uint8 // canonical mask classes (distinct, non-zero)
+	EscKnots   []int   // ascending escalation knots; must start at 0
+	MaxEsc     int     // first escalation with every level capped; last knot
+
+	// EvalBatch returns the exact sample of every point, in order.
+	EvalBatch func(pts []Point) ([]Sample, error)
+}
+
+// Table is the built surrogate. Immutable after Build/Decode; safe for
+// concurrent use.
+type Table struct {
+	sections   int
+	offBuckets int
+	classes    []uint8
+	classIdx   [256]int16 // -1 = class not in the table
+	knots      []int
+	maxEsc     int
+	samples    []Sample // [((section*offBuckets+offB)*nClasses+ci)*nKnots+ki]
+}
+
+func (spec Spec) validate() error {
+	switch {
+	case spec.Sections <= 0 || spec.OffBuckets <= 0:
+		return fmt.Errorf("surrogate: non-positive grid dimensions %dx%d", spec.Sections, spec.OffBuckets)
+	case len(spec.Classes) == 0:
+		return fmt.Errorf("surrogate: no mask classes")
+	case len(spec.EscKnots) == 0 || spec.EscKnots[0] != 0:
+		return fmt.Errorf("surrogate: escalation knots must start at 0")
+	case spec.EscKnots[len(spec.EscKnots)-1] != spec.MaxEsc:
+		return fmt.Errorf("surrogate: last knot %d != MaxEsc %d", spec.EscKnots[len(spec.EscKnots)-1], spec.MaxEsc)
+	}
+	for i := 1; i < len(spec.EscKnots); i++ {
+		if spec.EscKnots[i] <= spec.EscKnots[i-1] {
+			return fmt.Errorf("surrogate: knots not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+func newTable(spec Spec) *Table {
+	t := &Table{
+		sections:   spec.Sections,
+		offBuckets: spec.OffBuckets,
+		classes:    append([]uint8(nil), spec.Classes...),
+		knots:      append([]int(nil), spec.EscKnots...),
+		maxEsc:     spec.MaxEsc,
+	}
+	for i := range t.classIdx {
+		t.classIdx[i] = -1
+	}
+	for i, c := range t.classes {
+		t.classIdx[c] = int16(i)
+	}
+	t.samples = make([]Sample, spec.Sections*spec.OffBuckets*len(spec.Classes)*len(spec.EscKnots))
+	return t
+}
+
+// Build evaluates the full grid through spec.EvalBatch and assembles the
+// table. One call carries every point so the evaluator can batch and
+// parallelize however it likes.
+func Build(spec Spec) (*Table, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.EvalBatch == nil {
+		return nil, fmt.Errorf("surrogate: no EvalBatch")
+	}
+	t := newTable(spec)
+	pts := make([]Point, 0, len(t.samples))
+	for s := 0; s < t.sections; s++ {
+		for o := 0; o < t.offBuckets; o++ {
+			for _, c := range t.classes {
+				for _, k := range t.knots {
+					pts = append(pts, Point{Section: s, OffB: o, Class: c, Esc: k})
+				}
+			}
+		}
+	}
+	samples, err := spec.EvalBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) != len(pts) {
+		return nil, fmt.Errorf("surrogate: evaluator returned %d samples for %d points", len(samples), len(pts))
+	}
+	copy(t.samples, samples)
+	return t, nil
+}
+
+// GridSize reports how many exact evaluations the table holds.
+func (t *Table) GridSize() int { return len(t.samples) }
+
+func (t *Table) base(section, offB int, ci int16) int {
+	return ((section*t.offBuckets+offB)*len(t.classes) + int(ci)) * len(t.knots)
+}
+
+// Eval returns the surrogate sample for a query, or ok=false when the
+// query lies outside the table (unknown class or out-of-range indices) —
+// the caller falls back to the exact solver. Integer-knot hits return the
+// stored exact sample verbatim.
+func (t *Table) Eval(section, offB int, class uint8, esc int) (Sample, bool) {
+	if section < 0 || section >= t.sections || offB < 0 || offB >= t.offBuckets || esc < 0 {
+		return Sample{}, false
+	}
+	ci := t.classIdx[class]
+	if ci < 0 {
+		return Sample{}, false
+	}
+	if esc >= t.maxEsc {
+		// Fully capped: the op is constant beyond MaxEsc, so the clamp
+		// is exact, not an extrapolation.
+		esc = t.maxEsc
+	}
+	base := t.base(section, offB, ci)
+	// Locate the knot segment. len(knots) is ~a dozen; linear scan beats
+	// binary search at this size and stays branch-predictable.
+	hi := 1
+	for t.knots[hi] < esc {
+		hi++
+	}
+	k0, k1 := t.knots[hi-1], t.knots[hi]
+	if esc == k1 {
+		return t.samples[base+hi], true
+	}
+	if esc == k0 {
+		return t.samples[base+hi-1], true
+	}
+	a, b := t.samples[base+hi-1], t.samples[base+hi]
+	f := float64(esc-k0) / float64(k1-k0)
+	return Sample{
+		Latency: geomLerp(a.Latency, b.Latency, f),
+		Energy:  geomLerp(a.Energy, b.Energy, f),
+		Itotal:  a.Itotal + f*(b.Itotal-a.Itotal),
+		Vmin:    a.Vmin + f*(b.Vmin-a.Vmin),
+	}, true
+}
+
+// geomLerp interpolates in log space (exact for exponentials in the
+// axis), falling back to linear when an endpoint is not positive.
+func geomLerp(a, b, f float64) float64 {
+	if a > 0 && b > 0 {
+		return math.Exp((1-f)*math.Log(a) + f*math.Log(b))
+	}
+	return a + f*(b-a)
+}
+
+// Knots returns the escalation knots (for tests sweeping off-knot points).
+func (t *Table) Knots() []int { return append([]int(nil), t.knots...) }
+
+// encodeVersion guards the persisted layout.
+const encodeVersion = 1
+
+// Encode serializes the table for the persistent solve cache.
+func (t *Table) Encode() []byte {
+	n := len(t.samples)
+	buf := make([]byte, 0, 1+4*4+len(t.classes)+4*len(t.knots)+32*n)
+	buf = append(buf, encodeVersion)
+	var u [8]byte
+	put32 := func(v int) {
+		binary.LittleEndian.PutUint32(u[:4], uint32(v))
+		buf = append(buf, u[:4]...)
+	}
+	put32(t.sections)
+	put32(t.offBuckets)
+	put32(t.maxEsc)
+	put32(len(t.classes))
+	buf = append(buf, t.classes...)
+	put32(len(t.knots))
+	for _, k := range t.knots {
+		put32(k)
+	}
+	for _, s := range t.samples {
+		for _, f := range [4]float64{s.Latency, s.Energy, s.Itotal, s.Vmin} {
+			binary.LittleEndian.PutUint64(u[:], math.Float64bits(f))
+			buf = append(buf, u[:]...)
+		}
+	}
+	return buf
+}
+
+// Decode rebuilds a table from Encode's output. Returns ok=false on any
+// shape or version mismatch (the caller rebuilds from the solver).
+func Decode(b []byte) (*Table, bool) {
+	if len(b) < 1+4*4 || b[0] != encodeVersion {
+		return nil, false
+	}
+	off := 1
+	get32 := func() int {
+		v := int(int32(binary.LittleEndian.Uint32(b[off : off+4])))
+		off += 4
+		return v
+	}
+	sections := get32()
+	offBuckets := get32()
+	maxEsc := get32()
+	nc := get32()
+	if sections <= 0 || offBuckets <= 0 || nc <= 0 || nc > 256 || off+nc+4 > len(b) {
+		return nil, false
+	}
+	classes := append([]uint8(nil), b[off:off+nc]...)
+	off += nc
+	nk := get32()
+	if nk <= 0 || off+4*nk > len(b) {
+		return nil, false
+	}
+	knots := make([]int, nk)
+	for i := range knots {
+		knots[i] = get32()
+	}
+	n := sections * offBuckets * nc * nk
+	if len(b) != off+32*n {
+		return nil, false
+	}
+	spec := Spec{Sections: sections, OffBuckets: offBuckets, Classes: classes, EscKnots: knots, MaxEsc: maxEsc}
+	if err := spec.validate(); err != nil {
+		return nil, false
+	}
+	t := newTable(spec)
+	for i := range t.samples {
+		s := &t.samples[i]
+		s.Latency = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
+		s.Energy = math.Float64frombits(binary.LittleEndian.Uint64(b[off+8 : off+16]))
+		s.Itotal = math.Float64frombits(binary.LittleEndian.Uint64(b[off+16 : off+24]))
+		s.Vmin = math.Float64frombits(binary.LittleEndian.Uint64(b[off+24 : off+32]))
+		off += 32
+	}
+	return t, true
+}

@@ -1,0 +1,174 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+)
+
+// modelSample evaluates the modelled cost curves the interpolation is
+// designed for: latency/energy exponential in the escalation, itotal and
+// vmin affine — the kink-free shape of a voltage-escalated RESET below
+// the cap.
+func modelSample(p Point) Sample {
+	x := float64(p.Esc) + 0.1*float64(p.Section) + 0.05*float64(p.OffB) + 0.01*float64(p.Class)
+	return Sample{
+		Latency: 2.3e-6 * math.Exp(-0.35*x),
+		Energy:  1.4e-11 * math.Exp(-0.22*x),
+		Itotal:  1e-4 + 2e-6*x,
+		Vmin:    2.1 + 0.08*x,
+	}
+}
+
+func modelSpec(knots []int) Spec {
+	return Spec{
+		Sections:   3,
+		OffBuckets: 2,
+		Classes:    []uint8{1, 9, 130},
+		EscKnots:   knots,
+		MaxEsc:     knots[len(knots)-1],
+		EvalBatch: func(pts []Point) ([]Sample, error) {
+			out := make([]Sample, len(pts))
+			for i, p := range pts {
+				out[i] = modelSample(p)
+			}
+			return out, nil
+		},
+	}
+}
+
+func mustBuild(t *testing.T, spec Spec) *Table {
+	t.Helper()
+	tbl, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestEvalOnKnotExact: knot hits return the stored sample verbatim, and
+// beyond-MaxEsc queries clamp to the last knot.
+func TestEvalOnKnotExact(t *testing.T) {
+	tbl := mustBuild(t, modelSpec([]int{0, 1, 2, 3, 5, 9}))
+	for _, p := range []Point{{0, 0, 1, 0}, {2, 1, 130, 5}, {1, 0, 9, 9}} {
+		got, ok := tbl.Eval(p.Section, p.OffB, p.Class, p.Esc)
+		if !ok || got != modelSample(p) {
+			t.Errorf("on-knot %+v: got %+v ok=%v, want exact %+v", p, got, ok, modelSample(p))
+		}
+	}
+	at9, _ := tbl.Eval(1, 1, 9, 9)
+	for _, esc := range []int{10, 40, 255} {
+		got, ok := tbl.Eval(1, 1, 9, esc)
+		if !ok || got != at9 {
+			t.Errorf("esc %d: got %+v ok=%v, want MaxEsc clamp %+v", esc, got, ok, at9)
+		}
+	}
+}
+
+// TestEvalOutOfTable: unknown classes and out-of-range indices must
+// report ok=false so the caller falls back to the exact solver.
+func TestEvalOutOfTable(t *testing.T) {
+	tbl := mustBuild(t, modelSpec([]int{0, 2, 4}))
+	for _, q := range []struct {
+		s, o  int
+		class uint8
+		esc   int
+	}{{-1, 0, 1, 0}, {3, 0, 1, 0}, {0, 2, 1, 0}, {0, 0, 7, 0}, {0, 0, 1, -1}} {
+		if _, ok := tbl.Eval(q.s, q.o, q.class, q.esc); ok {
+			t.Errorf("Eval(%d,%d,%d,%d): want ok=false", q.s, q.o, q.class, q.esc)
+		}
+	}
+}
+
+// TestInterpolationWithinContract: off-knot queries on the modelled
+// kink-free curves stay within the documented Max* bounds even across
+// the widest stride a sparse table carries.
+func TestInterpolationWithinContract(t *testing.T) {
+	knots := []int{0, 1, 2, 3, 5, 8, 12}
+	tbl := mustBuild(t, modelSpec(knots))
+	onKnot := map[int]bool{}
+	for _, k := range knots {
+		onKnot[k] = true
+	}
+	var maxLat, maxEn, maxIt, maxVmin float64
+	for s := 0; s < 3; s++ {
+		for o := 0; o < 2; o++ {
+			for _, c := range []uint8{1, 9, 130} {
+				for esc := 0; esc <= 12; esc++ {
+					if onKnot[esc] {
+						continue
+					}
+					got, ok := tbl.Eval(s, o, c, esc)
+					if !ok {
+						t.Fatalf("Eval(%d,%d,%d,%d): ok=false", s, o, c, esc)
+					}
+					want := modelSample(Point{s, o, c, esc})
+					latErr := math.Abs(got.Latency-want.Latency) / want.Latency
+					enErr := math.Abs(got.Energy-want.Energy) / want.Energy
+					itErr := math.Abs(got.Itotal-want.Itotal) / want.Itotal
+					vminErr := math.Abs(got.Vmin - want.Vmin)
+					maxLat = math.Max(maxLat, latErr)
+					maxEn = math.Max(maxEn, enErr)
+					maxIt = math.Max(maxIt, itErr)
+					maxVmin = math.Max(maxVmin, vminErr)
+					if latErr > MaxLatencyRelErr || enErr > MaxEnergyRelErr ||
+						itErr > MaxItotalRelErr || vminErr > MaxVminAbsErr {
+						t.Errorf("(%d,%d,%d,%d) out of contract: lat %.3g energy %.3g itotal %.3g vmin %.3g",
+							s, o, c, esc, latErr, enErr, itErr, vminErr)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("max off-knot errors: latency %.4f energy %.4f itotal %.4f vmin %.4f V",
+		maxLat, maxEn, maxIt, maxVmin)
+}
+
+// TestGeomLerpFallback: non-positive endpoints (a failed op's +Inf
+// latency never reaches here, but zero energy can) degrade to linear.
+func TestGeomLerpFallback(t *testing.T) {
+	if got := geomLerp(0, 4, 0.5); got != 2 {
+		t.Errorf("geomLerp(0,4,.5) = %v, want linear 2", got)
+	}
+	if got := geomLerp(1, math.E*math.E, 0.5); math.Abs(got-math.E) > 1e-12 {
+		t.Errorf("geomLerp(1,e^2,.5) = %v, want e", got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip: the persisted form rebuilds bit-identically.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tbl := mustBuild(t, modelSpec([]int{0, 1, 3, 7}))
+	got, ok := Decode(tbl.Encode())
+	if !ok {
+		t.Fatal("Decode failed on Encode output")
+	}
+	if got.GridSize() != tbl.GridSize() {
+		t.Fatalf("grid size %d != %d", got.GridSize(), tbl.GridSize())
+	}
+	for i := range tbl.samples {
+		if got.samples[i] != tbl.samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got.samples[i], tbl.samples[i])
+		}
+	}
+	for _, b := range [][]byte{nil, {2}, tbl.Encode()[:40], append(tbl.Encode(), 0)} {
+		if _, ok := Decode(b); ok {
+			t.Errorf("Decode accepted corrupted payload of %d bytes", len(b))
+		}
+	}
+}
+
+// TestSpecValidation: malformed grids are rejected.
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Sections: 0, OffBuckets: 1, Classes: []uint8{1}, EscKnots: []int{0}, MaxEsc: 0},
+		{Sections: 1, OffBuckets: 1, Classes: nil, EscKnots: []int{0}, MaxEsc: 0},
+		{Sections: 1, OffBuckets: 1, Classes: []uint8{1}, EscKnots: []int{1}, MaxEsc: 1},
+		{Sections: 1, OffBuckets: 1, Classes: []uint8{1}, EscKnots: []int{0, 2}, MaxEsc: 3},
+		{Sections: 1, OffBuckets: 1, Classes: []uint8{1}, EscKnots: []int{0, 2, 2}, MaxEsc: 2},
+	}
+	for i, spec := range bad {
+		spec.EvalBatch = modelSpec([]int{0}).EvalBatch
+		if _, err := Build(spec); err == nil {
+			t.Errorf("spec %d: want validation error", i)
+		}
+	}
+}

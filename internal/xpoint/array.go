@@ -27,7 +27,8 @@ type Array struct {
 	// calls. Never mutated after New.
 	protoLoads []*device.Tabulated
 
-	ctxs sync.Pool // *solveCtx
+	ctxs      sync.Pool // *solveCtx
+	batchCtxs sync.Pool // *batchCtx (lazy: Get may return nil)
 }
 
 // New builds an Array from cfg. It returns an error rather than panicking

@@ -1,0 +1,741 @@
+package xpoint
+
+import (
+	"fmt"
+	"math"
+
+	"reramsim/internal/device"
+	"reramsim/internal/obs"
+)
+
+// batchWidth is the number of solver lanes a batch chunk interleaves.
+// One lane is one (system, piece) pair; the fused Thomas sweep advances
+// all lanes one node at a time, so the W independent forward-elimination
+// division chains overlap instead of serializing. Eight lanes keep the
+// whole SoA arena L2-resident on a 512-node array while already hiding
+// most of the division latency.
+const batchWidth = 8
+
+// laneGroup is the structure-of-arrays image of up to batchWidth ladders.
+// Node state is laid out lane-major — lane ln's node i lives at index
+// [ln*stride + i] — so the assembly and backward passes stream each
+// lane's state contiguously exactly like the serial solver (and touch
+// only live lanes' memory once lanes start converging out of the set),
+// while the fused elimination pass walks one stream per lane. Per-lane
+// arithmetic is textually identical to ladder.sweep / ladder.solve, and
+// no floating-point operation ever mixes lanes, so each lane's results
+// are bit-identical to solving its ladder alone.
+type laneGroup struct {
+	gw     float64
+	stride int // per-lane arena stride: nodes padded to stagger cache sets
+
+	loads []*device.Tabulated // [lane*stride+node]; nil = no load
+	loadU []float64
+	srcG  []float64
+	srcV  []float64
+	v     []float64
+	cp    []float64 // Thomas-elimination scratch
+	dp    []float64
+
+	span       [batchWidth]int // nodes in the lane's ladder (0 = unused)
+	vmin, vmax [batchWidth]float64
+
+	// Uniformity descriptor, built by gather. Crossbar ladders are almost
+	// entirely the half-selected background: every node carries the same
+	// device toward the same far potential and no source tap. When a lane
+	// matches that shape, uniDev/uniU hold the background pair and exc
+	// lists the few nodes that differ (drivers, ties, the selected cell's
+	// attach node); the assembly pass then streams only v[] and patches
+	// the exceptions from the arrays. uniDev == nil means the lane did
+	// not fit (e.g. oracle taps) and assembly takes the generic loop.
+	uniDev [batchWidth]*device.Tabulated
+	uniU   [batchWidth]float64
+	exc    [batchWidth][]int
+	// gsec is the assembly pass's output for uniform lanes: the node's
+	// background secant conductance, from which the elimination pass
+	// derives the row. NaN marks a node whose assembled row was written
+	// to cp/dp instead (exception nodes and whole generic lanes).
+	gsec []float64
+
+	// Per-lane registers of the current sweep / solve.
+	resv   [batchWidth]float64 // last sweep residual
+	relaxv [batchWidth]float64 // solve() relaxation state
+	prevv  [batchWidth]float64
+
+	live []int // solveLanes scratch
+}
+
+// maxLaneExc caps the exception list: a lane with more irregular nodes
+// than this solves through the generic assembly loop instead.
+const maxLaneExc = 16
+
+func (g *laneGroup) init(nodes int, rwire float64) {
+	if rwire <= 0 {
+		rwire = 1e-4
+	}
+	g.gw = 1 / rwire
+	// Pad each lane's segment so equal node indices of different lanes
+	// do not collide on the same cache set (power-of-two ladder sizes
+	// would otherwise put the elimination pass's 2x batchWidth streams
+	// in one set and thrash its associativity).
+	g.stride = nodes + 8
+	n := g.stride * batchWidth
+	g.loads = make([]*device.Tabulated, n)
+	g.loadU = make([]float64, n)
+	g.srcG = make([]float64, n)
+	g.srcV = make([]float64, n)
+	g.v = make([]float64, n)
+	g.cp = make([]float64, n)
+	g.dp = make([]float64, n)
+	for i := range g.exc {
+		g.exc[i] = make([]int, 0, maxLaneExc)
+	}
+	g.gsec = make([]float64, n)
+	g.live = make([]int, 0, batchWidth)
+}
+
+// gather copies a configured serial ladder into the group's lane segment.
+// Configuration reuses the exact serial setup paths (resetBL,
+// configureWL), so a gathered lane starts from state identical to the
+// per-op solver's.
+func (g *laneGroup) gather(lane int, l *ladder) {
+	g.span[lane] = l.n
+	g.vmin[lane], g.vmax[lane] = l.vmin, l.vmax
+	base := lane * g.stride
+	copy(g.loads[base:base+l.n], l.loads[:l.n])
+	copy(g.loadU[base:base+l.n], l.loadU[:l.n])
+	copy(g.srcG[base:base+l.n], l.srcG[:l.n])
+	copy(g.srcV[base:base+l.n], l.srcV[:l.n])
+	copy(g.v[base:base+l.n], l.v[:l.n])
+
+	// Build the uniformity descriptor: the background (device, far
+	// potential) pair and the exception nodes. Later writes to the
+	// arrays (tie potentials, the selected cell's attach node) only ever
+	// touch nodes classified as exceptions here, because those nodes
+	// carry a source tap or a non-background load at gather time.
+	var dev *device.Tabulated
+	var u float64
+	for i := 0; i < l.n; i++ {
+		if l.loads[i] != nil {
+			dev, u = l.loads[i], l.loadU[i]
+			break
+		}
+	}
+	exc := g.exc[lane][:0]
+	if dev != nil {
+		for i := 0; i < l.n; i++ {
+			if l.srcG[i] != 0 || l.srcV[i] != 0 || l.loads[i] != dev || l.loadU[i] != u {
+				if len(exc) == maxLaneExc {
+					dev = nil
+					break
+				}
+				exc = append(exc, i)
+			}
+		}
+	}
+	g.uniDev[lane], g.uniU[lane] = dev, u
+	g.exc[lane] = exc
+}
+
+// sweepLanes is ladder.sweep over every lane in lanes, using the lane's
+// relaxv. Each lane's per-node expressions match the serial sweep value
+// for value; only the fused elimination pass interleaves lanes, which
+// merely overlaps their independent division chains. The sweep runs in
+// three passes:
+//
+//  1. Assembly: per lane, the device evaluations. A uniform lane streams
+//     its voltages through one branchless table pass into gsec; its
+//     exception nodes — and every node of a generic lane — get the full
+//     diagonal and right-hand side written to cp/dp, with gsec flagged
+//     NaN. The pass streams one lane's contiguous state at a time, in
+//     the serial sweep's access pattern and value order.
+//  2. Elimination: the Thomas forward chains of all lanes advance in
+//     lockstep, overwriting cp/dp with the elimination coefficients.
+//     Background rows are derived from gsec on the spot — cheap adds
+//     that fill the divider-latency slack instead of costing a cp/dp
+//     round-trip through memory. The loop body stays small (two
+//     divisions, no calls), so the out-of-order window spans every lane
+//     and the chains hide each other's division latency — the batch
+//     kernel's payoff. The per-lane carries live in stack arrays heap
+//     stores cannot alias.
+//  3. Substitution: the backward passes of all lanes in lockstep, with
+//     the serial sweep's relaxed clamped update and residual per lane.
+//
+// Splitting the device calls (pass 1) from the chains (pass 2) matters:
+// fused, each lane-node body is large enough that the reorder window
+// covers less than one full set of lanes and the divisions serialize.
+func (g *laneGroup) sweepLanes(lanes []int) {
+	gw := g.gw
+	stride := g.stride
+	loads, loadU := g.loads, g.loadU
+	srcG, srcV := g.srcG, g.srcV
+	v, cp, dp := g.v, g.cp, g.dp
+	span := g.span
+	for _, ln := range lanes {
+		base := ln * stride
+		n := span[ln]
+		if dev := g.uniDev[ln]; dev != nil {
+			// Background nodes: srcG == srcV == 0 and the uniform load.
+			// Their row is fully determined by the secant conductance,
+			// so assembly only records it; the elimination pass derives
+			// diag/rhs in its register slack. The handful of exception
+			// nodes is assembled generically into cp/dp and flagged NaN
+			// in gsec.
+			dev.SecantConductanceInto(g.gsec[base:base+n], v[base:base+n], g.uniU[ln])
+			for _, i := range g.exc[ln] {
+				j := base + i
+				diag := srcG[j]
+				rhs := srcG[j] * srcV[j]
+				if dev := loads[j]; dev != nil {
+					gg := dev.SecantConductance(v[j] - loadU[j])
+					diag += gg
+					rhs += gg * loadU[j]
+				}
+				if i > 0 {
+					diag += gw
+				}
+				if i < n-1 {
+					diag += gw
+				}
+				if diag == 0 {
+					diag = 1e-30
+				}
+				cp[j], dp[j] = diag, rhs
+				g.gsec[j] = math.NaN()
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			j := base + i
+			diag := srcG[j]
+			rhs := srcG[j] * srcV[j]
+			if dev := loads[j]; dev != nil {
+				gg := dev.SecantConductance(v[j] - loadU[j])
+				diag += gg
+				rhs += gg * loadU[j]
+			}
+			if i > 0 {
+				diag += gw
+			}
+			if i < n-1 {
+				diag += gw
+			}
+			if diag == 0 {
+				diag = 1e-30
+			}
+			cp[j], dp[j] = diag, rhs
+			g.gsec[j] = math.NaN()
+		}
+	}
+	maxSpan := 0
+	for _, ln := range lanes {
+		if span[ln] > maxSpan {
+			maxSpan = span[ln]
+		}
+	}
+	gsec := g.gsec
+	uniU := g.uniU
+	var cpr, dpr [batchWidth]float64
+	for i := 0; i < maxSpan; i++ {
+		for _, ln := range lanes {
+			n := span[ln]
+			if i >= n {
+				continue
+			}
+			j := ln*stride + i
+			var diag, rhs float64
+			if gg := gsec[j]; gg == gg {
+				// Background node of a uniform lane: derive its row here,
+				// in the divider-latency slack, instead of round-tripping
+				// it through cp/dp. diag == 0+gg and the leading +0 on rhs
+				// reproduce the generic srcG/srcV arithmetic exactly (0+x
+				// only differs from x for x == -0, which gg cannot be; the
+				// rhs product can be -0, so the add stays explicit).
+				diag = gg
+				rhs = 0 + gg*uniU[ln]
+				if i > 0 {
+					diag += gw
+				}
+				if i < n-1 {
+					diag += gw
+				}
+				if diag == 0 {
+					diag = 1e-30
+				}
+			} else {
+				diag, rhs = cp[j], dp[j]
+			}
+			ai, ci := 0.0, 0.0
+			if i > 0 {
+				ai = -gw
+			}
+			if i < n-1 {
+				ci = -gw
+			}
+			m := diag - ai*cpr[ln]
+			cprev := ci / m
+			dprev := (rhs - ai*dpr[ln]) / m
+			cpr[ln], dpr[ln] = cprev, dprev
+			cp[j], dp[j] = cprev, dprev
+		}
+	}
+	relaxv, vmin, vmax := g.relaxv, g.vmin, g.vmax
+	var xnext, resv [batchWidth]float64
+	for i := maxSpan - 1; i >= 0; i-- {
+		for _, ln := range lanes {
+			n := span[ln]
+			if i >= n {
+				continue
+			}
+			j := ln*stride + i
+			x := dp[j]
+			if i < n-1 {
+				x -= cp[j] * xnext[ln]
+			}
+			xnext[ln] = x
+			nv := v[j] + relaxv[ln]*(x-v[j])
+			if nv < vmin[ln] {
+				nv = vmin[ln]
+			} else if nv > vmax[ln] {
+				nv = vmax[ln]
+			}
+			if dv := math.Abs(nv - v[j]); dv > resv[ln] {
+				resv[ln] = dv
+			}
+			v[j] = nv
+		}
+	}
+	for _, ln := range lanes {
+		g.resv[ln] = resv[ln]
+	}
+}
+
+// solveLanes is ladder.solve in lockstep: every live lane gets one sweep
+// per iteration with its own relaxation/damping state, and a lane leaves
+// the live set the moment its residual clears tol — exactly the sweep
+// count and damping schedule the serial solve would give it.
+func (g *laneGroup) solveLanes(lanes []int, tol float64, maxIter int) {
+	live := g.live[:0]
+	for _, ln := range lanes {
+		g.relaxv[ln] = 1.0
+		g.prevv[ln] = math.Inf(1)
+		live = append(live, ln)
+	}
+	for it := 0; it < maxIter && len(live) > 0; it++ {
+		g.sweepLanes(live)
+		w := 0
+		for _, ln := range live {
+			res := g.resv[ln]
+			if res < tol {
+				continue
+			}
+			if res > 0.9*g.prevv[ln] && g.relaxv[ln] > 0.03 {
+				g.relaxv[ln] *= 0.7
+			}
+			g.prevv[ln] = res
+			live[w] = ln
+			w++
+		}
+		live = live[:w]
+	}
+	g.live = live[:0]
+}
+
+// groundCurrent is pieceGroundCurrent over one lane.
+func (g *laneGroup) groundCurrent(lane int) float64 {
+	total := 0.0
+	base := lane * g.stride
+	n := g.span[lane]
+	for i := 0; i < n; i++ {
+		j := base + i
+		if g.srcG[j] == 0 {
+			continue
+		}
+		if c := g.srcG[j] * (g.srcV[j] - g.v[j]); c < 0 {
+			total -= c
+		}
+	}
+	return total
+}
+
+// batchSystem is one independent solve inside a batch: either a whole
+// (non-oracle) ResetOp or one 1-bit column of an oracle-decomposed op.
+type batchSystem struct {
+	op     ResetOp
+	outIdx int // index into the caller's out slice
+	subIdx int // -1 = whole op; >=0 = oracle column index
+	lane0  int // first lane of the system inside its chunk
+	n      int // pieces (lanes) the system occupies
+
+	itotal, prevTotal float64
+	done              bool
+}
+
+// batchCtx is the pooled working set of SimulateResetBatch: the two SoA
+// lane groups, the scratch serial ladders used to configure lanes, and
+// every per-lane register of the lockstep piece solver.
+type batchCtx struct {
+	bl, wl laneGroup
+
+	scratchBL *ladder
+	scratchWL *ladder
+
+	sysOf      [batchWidth]int
+	row, sel   [batchWidth]int
+	tie0, tie1 [batchWidth]int
+	ipiece     [batchWidth]float64
+	veff       [batchWidth]float64
+	icell      [batchWidth]float64
+
+	// solvePieceLanes per-lane state (mirrors solvePiece's locals).
+	wHat, bHat [batchWidth]float64
+	relaxP     [batchWidth]float64
+	prevDelta  [batchWidth]float64
+	best       [batchWidth]float64
+	sinceBest  [batchWidth]int
+
+	lanes     []int
+	liveInner []int
+
+	sys []batchSystem
+
+	// Oracle decomposition scratch: per-lane 1-bit sub-op columns and one
+	// reusable sub-result for metric recording.
+	colBuf  [batchWidth]int
+	voltBuf [batchWidth]float64
+	subRes  ResetResult
+}
+
+func newBatchCtx(cfg Config) *batchCtx {
+	c := &batchCtx{
+		scratchBL: newLadder(cfg.Size, cfg.Rwire),
+		scratchWL: newLadderCap(cfg.Size, cfg.Size, cfg.Rwire),
+		lanes:     make([]int, 0, batchWidth),
+		liveInner: make([]int, 0, batchWidth),
+	}
+	c.bl.init(cfg.Size, cfg.Rwire)
+	c.wl.init(cfg.Size, cfg.Rwire)
+	return c
+}
+
+func (a *Array) getBatchCtx() *batchCtx {
+	if c, ok := a.batchCtxs.Get().(*batchCtx); ok {
+		return c
+	}
+	return newBatchCtx(a.cfg)
+}
+
+func (a *Array) putBatchCtx(c *batchCtx) {
+	c.sys = c.sys[:0]
+	a.batchCtxs.Put(c)
+}
+
+// SimulateResetBatch solves many independent RESET ops in one call,
+// interleaving up to batchWidth (system, piece) lanes per fused Thomas
+// sweep so the serially-dependent forward-elimination division chains of
+// independent systems overlap. Results are bit-identical to calling
+// SimulateResetInto once per op in order: no floating-point operation
+// crosses lanes, every lane runs the serial solver's exact expression
+// sequence, and per-system accumulations keep the serial summation order.
+//
+// out must have len(ops) distinct entries; out[i] receives op i's result
+// with slices reused when they have capacity. Ops whose piece count
+// exceeds batchWidth fall back to the per-op solver (trivially identical).
+func (a *Array) SimulateResetBatch(ops []ResetOp, out []ResetResult) error {
+	if len(out) != len(ops) {
+		return fmt.Errorf("xpoint: batch of %d ops but %d results", len(ops), len(out))
+	}
+	for i := range ops {
+		if err := ops[i].Validate(a.cfg); err != nil {
+			return fmt.Errorf("xpoint: batch op %d: %w", i, err)
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	defer obs.SpanScope("xpoint.solveBatch")()
+
+	cfg := a.cfg
+	ctx := a.getBatchCtx()
+	defer a.putBatchCtx(ctx)
+
+	// Build the system list in op order. Oracle multi-bit ops decompose
+	// into 1-bit systems exactly as simulateOracleInto does; their
+	// partial results accumulate into out[i] in column order because
+	// systems are enqueued, chunked and finalized in list order.
+	sys := ctx.sys[:0]
+	for i := range ops {
+		op := ops[i]
+		n := len(op.Cols)
+		switch {
+		case n > 1 && (cfg.OracleWL > 0 || cfg.OracleBL > 0):
+			res := &out[i]
+			res.Veff = growFloats(res.Veff, n)
+			res.Icell = growFloats(res.Icell, n)
+			res.Itotal, res.Latency, res.Failed = 0, 0, false
+			for j := 0; j < n; j++ {
+				sys = append(sys, batchSystem{outIdx: i, subIdx: j, n: 1})
+			}
+		case n > batchWidth:
+			a.simulateInto(op, &out[i])
+		default:
+			sys = append(sys, batchSystem{op: op, outIdx: i, subIdx: -1, n: n})
+		}
+	}
+	ctx.sys = sys
+
+	// Greedy chunking: consecutive systems share a chunk while their
+	// lanes fit. Chunks run sequentially, preserving list order.
+	for lo := 0; lo < len(sys); {
+		lanes := 0
+		hi := lo
+		for hi < len(sys) && lanes+sys[hi].n <= batchWidth {
+			lanes += sys[hi].n
+			hi++
+		}
+		a.solveBatchChunk(ctx, sys[lo:hi], ops, out)
+		lo = hi
+	}
+	return nil
+}
+
+// solveBatchChunk runs one chunk of systems in lockstep: all pieces of
+// all systems advance together through the outer trunk-coupling loop,
+// which is sound because within one outer iteration every piece's inputs
+// (prevTotal, its previous ipiece) are previous-iteration state — the
+// serial per-piece loop never reads a value written earlier in the same
+// iteration.
+func (a *Array) solveBatchChunk(ctx *batchCtx, sys []batchSystem, ops []ResetOp, out []ResetResult) {
+	cfg := a.cfg
+
+	rdec, rtrunk := cfg.Rdec, a.rtrunk
+	if cfg.DSGB {
+		rdec /= 2
+	}
+	trunkRef := float64(cfg.DataWidth) * cfg.Params.Ion
+
+	// Lane configuration, via the serial setup paths on scratch ladders.
+	lane := 0
+	for si := range sys {
+		s := &sys[si]
+		if s.subIdx >= 0 {
+			// Materialize the oracle 1-bit sub-op in per-lane scratch, as
+			// simulateOracleInto does with its reusable sub-op.
+			src := ops[s.outIdx]
+			ctx.colBuf[lane] = src.Cols[s.subIdx]
+			ctx.voltBuf[lane] = src.Volts[s.subIdx]
+			s.op = ResetOp{Row: src.Row, Cols: ctx.colBuf[lane : lane+1], Volts: ctx.voltBuf[lane : lane+1]}
+		}
+		op := s.op
+		n := s.n
+		s.lane0 = lane
+		s.itotal = 0
+		s.done = false
+
+		vhalfBL := cfg.Params.Vrst / 2
+		vaMax := 0.0
+		for _, v := range op.Volts {
+			if v > vaMax {
+				vaMax = v
+			}
+		}
+		vhalfWL := vaMax - cfg.Params.Vrst/2
+
+		if s.subIdx < 0 {
+			res := &out[s.outIdx]
+			res.Veff = growFloats(res.Veff, n)
+			res.Icell = growFloats(res.Icell, n)
+		}
+
+		for k := 0; k < n; k++ {
+			lo := 0
+			if k > 0 {
+				lo = (op.Cols[k-1] + op.Cols[k] + 1) / 2
+			}
+			hi := cfg.Size
+			if k < n-1 {
+				hi = (op.Cols[k] + op.Cols[k+1] + 1) / 2
+			}
+			a.resetBL(ctx.scratchBL, op.Volts[k], op.Row, vhalfWL, vaMax)
+			ctx.bl.gather(lane, ctx.scratchBL)
+			t0, t1 := a.configureWL(ctx.scratchWL, lo, hi, op, k, n, vhalfBL, vaMax)
+			ctx.wl.gather(lane, ctx.scratchWL)
+			ctx.sysOf[lane] = si
+			ctx.row[lane] = op.Row
+			ctx.sel[lane] = op.Cols[k] - lo
+			ctx.tie0[lane], ctx.tie1[lane] = t0, t1
+			ctx.ipiece[lane] = 0
+			lane++
+		}
+	}
+
+	for outer := 0; outer < outerMaxIter; outer++ {
+		lanes := ctx.lanes[:0]
+		for si := range sys {
+			s := &sys[si]
+			if s.done {
+				continue
+			}
+			s.prevTotal = s.itotal
+			s.itotal = 0
+			for k := 0; k < s.n; k++ {
+				lanes = append(lanes, s.lane0+k)
+			}
+		}
+		ctx.lanes = lanes
+		if len(lanes) == 0 {
+			break
+		}
+
+		// Ground potential per lane from previous-iteration state only.
+		for _, ln := range lanes {
+			s := &sys[ctx.sysOf[ln]]
+			iothers := s.prevTotal - ctx.ipiece[ln]
+			if iothers < 0 {
+				iothers = 0
+			}
+			crowding := s.prevTotal / trunkRef
+			vg := rdec*s.prevTotal + rtrunk*iothers*crowding
+			if t := ctx.tie0[ln]; t >= 0 {
+				ctx.wl.srcV[ln*ctx.wl.stride+t] = vg
+			}
+			if t := ctx.tie1[ln]; t >= 0 {
+				ctx.wl.srcV[ln*ctx.wl.stride+t] = vg
+			}
+		}
+
+		a.solvePieceLanes(ctx, lanes)
+
+		// Piece ground currents; per-system itotal sums in piece order
+		// (lanes is ordered system-major, piece-minor).
+		for _, ln := range lanes {
+			ctx.ipiece[ln] = ctx.wl.groundCurrent(ln)
+			sys[ctx.sysOf[ln]].itotal += ctx.ipiece[ln]
+		}
+		for si := range sys {
+			s := &sys[si]
+			if s.done {
+				continue
+			}
+			if math.Abs(s.itotal-s.prevTotal) < outerTol*(1e-6+math.Abs(s.itotal)) {
+				s.done = true
+			}
+		}
+	}
+
+	// Finalize in system order (preserves oracle column-order accumulation).
+	for si := range sys {
+		s := &sys[si]
+		if s.subIdx < 0 {
+			res := &out[s.outIdx]
+			for k := 0; k < s.n; k++ {
+				res.Veff[k] = ctx.veff[s.lane0+k]
+				res.Icell[k] = ctx.icell[s.lane0+k]
+			}
+			res.Itotal = s.itotal
+			res.Latency = 0
+			res.Failed = false
+			for _, v := range res.Veff {
+				lat := cfg.Params.ResetLatency(v)
+				if math.IsInf(lat, 1) {
+					res.Failed = true
+				}
+				if lat > res.Latency {
+					res.Latency = lat
+				}
+			}
+			recordReset(s.op, res)
+			continue
+		}
+		o := &out[s.outIdx]
+		ln := s.lane0
+		v, ic := ctx.veff[ln], ctx.icell[ln]
+		o.Veff[s.subIdx] = v
+		o.Icell[s.subIdx] = ic
+		o.Itotal += s.itotal
+		lat := cfg.Params.ResetLatency(v)
+		failed := math.IsInf(lat, 1)
+		if lat > o.Latency {
+			o.Latency = lat
+		}
+		o.Failed = o.Failed || failed
+		// The serial decomposition records each 1-bit sub-solve; mirror it
+		// with the reconstructed sub-result.
+		sr := &ctx.subRes
+		sr.Veff = growFloats(sr.Veff, 1)
+		sr.Icell = growFloats(sr.Icell, 1)
+		sr.Veff[0], sr.Icell[0] = v, ic
+		sr.Itotal = s.itotal
+		sr.Latency = lat
+		sr.Failed = failed
+		recordReset(s.op, sr)
+	}
+}
+
+// solvePieceLanes is solvePiece in lockstep over lanes: per inner
+// iteration every live lane reattaches its cell load with the latest
+// exchanged terminal estimate, both lane groups solve, and each lane
+// applies the serial under-relaxation/stagnation logic to its own state.
+// A converged or stagnated lane drops out of the live set, freezing its
+// wHat/bHat exactly where the serial loop's break would.
+func (a *Array) solvePieceLanes(ctx *batchCtx, lanes []int) {
+	bl, wl := &ctx.bl, &ctx.wl
+	for _, ln := range lanes {
+		ctx.wHat[ln] = wl.v[ln*wl.stride+ctx.sel[ln]]
+		ctx.bHat[ln] = bl.v[ln*bl.stride+ctx.row[ln]]
+		ctx.relaxP[ln] = 1.0
+		ctx.prevDelta[ln] = math.Inf(1)
+		ctx.best[ln] = math.Inf(1)
+		ctx.sinceBest[ln] = 0
+	}
+	live := append(ctx.liveInner[:0], lanes...)
+	for inner := 0; inner < innerMaxIter && len(live) > 0; inner++ {
+		for _, ln := range live {
+			j := ln*bl.stride + ctx.row[ln]
+			bl.loads[j] = a.cell
+			bl.loadU[j] = ctx.wHat[ln]
+		}
+		bl.solveLanes(live, innerTol/4, ladderIter)
+
+		for _, ln := range live {
+			j := ln*wl.stride + ctx.sel[ln]
+			wl.loads[j] = a.cell
+			wl.loadU[j] = ctx.bHat[ln]
+		}
+		wl.solveLanes(live, innerTol/4, ladderIter)
+
+		w := 0
+		for _, ln := range live {
+			wv := wl.v[ln*wl.stride+ctx.sel[ln]]
+			bv := bl.v[ln*bl.stride+ctx.row[ln]]
+			dw := wv - ctx.wHat[ln]
+			db := bv - ctx.bHat[ln]
+			delta := math.Max(math.Abs(dw), math.Abs(db))
+			if delta < innerTol {
+				ctx.wHat[ln], ctx.bHat[ln] = wv, bv
+				continue
+			}
+			if delta > ctx.prevDelta[ln] && ctx.relaxP[ln] > 0.15 {
+				ctx.relaxP[ln] *= 0.6
+			}
+			ctx.prevDelta[ln] = delta
+			if delta < ctx.best[ln]*0.7 {
+				ctx.best[ln] = delta
+				ctx.sinceBest[ln] = 0
+			} else if ctx.sinceBest[ln]++; ctx.sinceBest[ln] > 10 {
+				ctx.wHat[ln], ctx.bHat[ln] = wv, bv
+				continue
+			}
+			ctx.wHat[ln] += ctx.relaxP[ln] * dw
+			ctx.bHat[ln] += ctx.relaxP[ln] * db
+			live[w] = ln
+			w++
+		}
+		live = live[:w]
+	}
+	ctx.liveInner = live[:0]
+	for _, ln := range lanes {
+		ctx.veff[ln] = ctx.bHat[ln] - ctx.wHat[ln]
+		ctx.icell[ln] = a.cell.Current(ctx.veff[ln])
+	}
+}

@@ -1,0 +1,236 @@
+package xpoint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// batchConfigs covers every solver variant whose configuration paths the
+// batch kernel reuses (ground layout, driver taps, oracle decomposition,
+// mixed background data).
+func batchConfigs(size int) map[string]Config {
+	base := DefaultConfig()
+	base.Size = size
+	base.DataWidth = 8
+	dsgb := base
+	dsgb.DSGB = true
+	both := dsgb
+	both.DSWD = true
+	ora := base
+	ora.OracleWL = size / 4
+	ora.OracleBL = size / 2
+	mixed := base
+	mixed.LRSFrac = 0.5
+	return map[string]Config{
+		"base": base, "dsgb": dsgb, "dsgb+dswd": both,
+		"oracle": ora, "mixed-data": mixed,
+	}
+}
+
+func randomOp(rng *rand.Rand, cfg Config, maxBits int) ResetOp {
+	n := 1 + rng.Intn(maxBits)
+	seen := map[int]bool{}
+	cols := make([]int, 0, n)
+	for len(cols) < n {
+		c := rng.Intn(cfg.Size)
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	// Validate requires ascending columns.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	volts := make([]float64, n)
+	for i := range volts {
+		volts[i] = cfg.Params.Vrst + 0.94*rng.Float64()
+	}
+	return ResetOp{Row: rng.Intn(cfg.Size), Cols: cols, Volts: volts}
+}
+
+// TestBatchMatchesSerialDifferential is the batch kernel's central
+// property test: over randomized configs, ops and batch shapes —
+// including degenerate 1-op batches, multi-piece ops, oracle
+// decomposition and ops wide enough to trigger the serial fallback —
+// SimulateResetBatch must produce byte-identical ResetResults to per-op
+// SimulateResetInto.
+func TestBatchMatchesSerialDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for name, cfg := range batchConfigs(64) {
+		t.Run(name, func(t *testing.T) {
+			serial := MustNew(cfg)
+			batched := MustNew(cfg)
+			for round := 0; round < rounds; round++ {
+				nops := 1 + rng.Intn(12)
+				ops := make([]ResetOp, nops)
+				for i := range ops {
+					// Up to batchWidth+2 bits so some ops exceed the lane
+					// budget and exercise the per-op fallback inside a batch.
+					ops[i] = randomOp(rng, cfg, batchWidth+2)
+				}
+				want := make([]ResetResult, nops)
+				for i := range ops {
+					if err := serial.SimulateResetInto(ops[i], &want[i]); err != nil {
+						t.Fatalf("serial op %d: %v", i, err)
+					}
+				}
+				got := make([]ResetResult, nops)
+				if err := batched.SimulateResetBatch(ops, got); err != nil {
+					t.Fatalf("batch: %v", err)
+				}
+				for i := range ops {
+					sameResult(t, name+" op", &got[i], &want[i])
+				}
+				if t.Failed() {
+					t.Fatalf("round %d diverged (ops: %+v)", round, ops)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSerialFullSize runs one mixed batch on the real Table I
+// array so the differential coverage includes production-size ladders.
+func TestBatchMatchesSerialFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size differential batch in -short mode")
+	}
+	cfg := DefaultConfig()
+	serial := MustNew(cfg)
+	batched := MustNew(cfg)
+	v := cfg.Params.Vrst
+	ops := []ResetOp{
+		{Row: cfg.Size - 1, Cols: []int{cfg.Size - 1}, Volts: []float64{v}},
+		{Row: cfg.Size / 3, Cols: []int{10, 200, 400, 505}, Volts: []float64{v, v + 0.3, v + 0.6, 3.94}},
+		{Row: 0, Cols: []int{0}, Volts: []float64{v + 0.66}},
+		{Row: cfg.Size / 2, Cols: []int{127, 255, 383, 511}, Volts: []float64{v, v + 0.2, v + 0.4, v + 0.6}},
+	}
+	want := make([]ResetResult, len(ops))
+	for i := range ops {
+		if err := serial.SimulateResetInto(ops[i], &want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]ResetResult, len(ops))
+	if err := batched.SimulateResetBatch(ops, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		sameResult(t, "full-size", &got[i], &want[i])
+	}
+}
+
+// TestBatchValidation: shape and per-op validation errors identify the
+// offending op and leave no partial work behind.
+func TestBatchValidation(t *testing.T) {
+	cfg := smallConfig()
+	arr := MustNew(cfg)
+	good := oneBit(1, 1, cfg.Params.Vrst)
+	bad := ResetOp{Row: -1, Cols: []int{0}, Volts: []float64{3}}
+
+	if err := arr.SimulateResetBatch([]ResetOp{good}, make([]ResetResult, 2)); err == nil {
+		t.Error("mismatched result length accepted")
+	}
+	err := arr.SimulateResetBatch([]ResetOp{good, bad}, make([]ResetResult, 2))
+	if err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if want := "batch op 1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not identify op: want substring %q", err, want)
+	}
+	if err := arr.SimulateResetBatch(nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestWideSolveDoesNotPinPooledLadders is the regression test for the
+// pooled-context retention fix: after an op wider than pooledPieceCap,
+// the pool must hand out a fresh small context, not the max-size one
+// (before the fix, one wide op left every pooled context pinning
+// Size-scale ladders for the process lifetime).
+func TestWideSolveDoesNotPinPooledLadders(t *testing.T) {
+	cfg := DefaultConfig()
+	arr := MustNew(cfg)
+	n := pooledPieceCap + 8
+	op := ResetOp{Row: 5, Cols: make([]int, n), Volts: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		op.Cols[i] = i * (cfg.Size / n)
+		op.Volts[i] = cfg.Params.Vrst
+	}
+	var res ResetResult
+	if err := arr.SimulateResetInto(op, &res); err != nil {
+		t.Fatal(err)
+	}
+	c := arr.getCtx(1)
+	if len(c.bl) > pooledPieceCap {
+		t.Fatalf("pool returned a %d-piece context after a wide solve; oversized contexts must be discarded", len(c.bl))
+	}
+	arr.putCtx(c)
+
+	// Small ops must still pool: the steady state stays allocation-free
+	// after the large→small transition.
+	small := oneBit(cfg.Size-1, cfg.Size-1, cfg.Params.Vrst)
+	if err := arr.SimulateResetInto(small, &res); err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		return // sync.Pool drops Puts at random under the race detector
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := arr.SimulateResetInto(small, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state small solve allocates %.1f/op after wide workload", allocs)
+	}
+}
+
+// TestPutCtxDiscardsOversized pins the putCtx size-class bound directly.
+func TestPutCtxDiscardsOversized(t *testing.T) {
+	arr := MustNew(smallConfig())
+	big := &solveCtx{}
+	big.grow(arr, pooledPieceCap+1)
+	arr.putCtx(big)
+	if got := arr.getCtx(1); got == big {
+		t.Error("context above pooledPieceCap returned to the pool")
+	}
+	ok := &solveCtx{}
+	ok.grow(arr, pooledPieceCap)
+	arr.putCtx(ok) // at the bound: must remain poolable
+}
+
+// TestBatchSteadyStateAllocs: a warm batch of small ops should reuse the
+// pooled batch context (the per-op results are caller-owned).
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	cfg := smallConfig()
+	arr := MustNew(cfg)
+	v := cfg.Params.Vrst
+	ops := []ResetOp{
+		oneBit(1, 5, v),
+		{Row: 9, Cols: []int{8, 24, 40, 56}, Volts: []float64{v, v + 0.1, v + 0.2, v + 0.3}},
+	}
+	out := make([]ResetResult, len(ops))
+	if err := arr.SimulateResetBatch(ops, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := arr.SimulateResetBatch(ops, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state batch allocates %.1f/op", allocs)
+	}
+}

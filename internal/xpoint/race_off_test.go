@@ -1,0 +1,8 @@
+//go:build !race
+
+package xpoint
+
+// raceEnabled reports whether the race detector is active. Allocation
+// assertions are skipped under it: sync.Pool deliberately drops Puts at
+// random when racing, so pooled paths allocate nondeterministically.
+const raceEnabled = false

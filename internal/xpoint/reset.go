@@ -122,7 +122,20 @@ func (a *Array) getCtx(n int) *solveCtx {
 	return c
 }
 
-func (a *Array) putCtx(c *solveCtx) { a.ctxs.Put(c) }
+// pooledPieceCap bounds the piece capacity a context may keep while
+// pooled. grow only ever extends a context upward, so without a bound one
+// wide op (a degraded-mux escalation, a wide oracle sweep) would leave
+// every pooled context pinning max-size ladders for the process lifetime
+// of a daemon. len(c.bl) is the historical high-water mark — contexts
+// beyond the bound are dropped for the GC instead of pooled.
+const pooledPieceCap = 16
+
+func (a *Array) putCtx(c *solveCtx) {
+	if len(c.bl) > pooledPieceCap {
+		return
+	}
+	a.ctxs.Put(c)
+}
 
 // growFloats returns s resized to n elements, reusing its backing array
 // when it is large enough.
