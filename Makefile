@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve vuln staticcheck bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve test-dist vuln staticcheck bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve bench-guard vuln staticcheck
+ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve test-dist bench-guard vuln staticcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -63,6 +63,16 @@ test-serve:
 	$(GO) test -race ./internal/serve/ ./internal/retry/
 	$(GO) test -race -run 'TestDaemon' ./cmd/reramd/
 
+# The distributed sweep layer under the race detector: the lease state
+# machine, the coordinator's long-poll/janitor/merge paths and the
+# worker loop (including adversarial segment-return orders and
+# simulated worker loss) — plus the CLI e2e (coordinator + 4 worker
+# processes byte-identical to a single-process run, and SIGKILLing a
+# worker mid-grid with lease-expiry recovery).
+test-dist:
+	$(GO) test -race ./internal/dist/
+	$(GO) test -run 'TestDist' ./cmd/reramsim/
+
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -90,13 +100,14 @@ bench-guard:
 # the PR4 solver/cost baselines (steady-state ResetOp regressions show
 # up against BENCH_PR4.json), the PR6 telemetry overheads (span on/off,
 # /metrics scrape render), the PR7 served-request latency (full HTTP
-# round trip through admission + deadline setup), and the PR8 solver
-# modes (per-op vs SoA-batched solves, and the three modes' cold-path
-# pricing including the surrogate table).
+# round trip through admission + deadline setup), the PR8 solver modes
+# (per-op vs SoA-batched solves, cold-path pricing), and the PR9 sweep
+# backends (serial vs parallel-4/8 vs a standing distributed-4 fleet —
+# the fleet must beat the serial cold-start wall clock).
 bench-json:
 	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape|BenchmarkResetBatchSolver' \
 		-benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkServedSolve' -benchtime 500x -benchmem ./internal/serve/ ; \
 	  $(GO) test -run xxx -bench 'BenchmarkSolverModesCold' -benchtime 10x -benchmem ./internal/core/ ; } \
-		| $(GO) run ./cmd/bench2json > BENCH_PR8.json
-	@echo "wrote BENCH_PR8.json"
+		| $(GO) run ./cmd/bench2json > BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"reramsim/internal/core"
+	"reramsim/internal/dist"
 	"reramsim/internal/experiments"
 	"reramsim/internal/obs"
 	"reramsim/internal/par"
@@ -55,6 +57,10 @@ func run() int {
 		defaultDeadline = flag.Duration("default-deadline", time.Minute, "compute deadline for requests that name none")
 		maxDeadline     = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "max time a signal-initiated drain waits for in-flight work before cancelling it")
+
+		distAddr = flag.String("dist-addr", "", "serve the distributed-sweep lease protocol on this address (default localhost:0 when -workers is set)")
+		workers  = flag.String("workers", "", "comma-separated worker agent addresses (reramsim -worker -listen <addr>) to attach at boot; sweeps fan out to joined workers")
+		leaseTTL = flag.Duration("lease-ttl", 10*time.Second, "distributed lease time-to-live; a worker missing renewals this long forfeits its cells for re-lease")
 
 		obsAddr    = flag.String("obs-addr", "", "serve the standalone telemetry plane (/metrics, /progress, /debug/pprof/) on this extra address; the API port always serves /metrics itself")
 		traceSpans = flag.String("trace-spans", "", "write hierarchical spans as a Chrome trace-event file (load in ui.perfetto.dev)")
@@ -97,6 +103,38 @@ func run() int {
 		return fail(err)
 	}
 
+	// The distributed plane is opt-in: -workers (or an explicit
+	// -dist-addr) starts a persistent coordinator, and every /v1/sweep
+	// with live workers fans out to the fleet; admission, deadlines and
+	// drain are untouched because the coordinator runs inside the same
+	// request lifecycle a local sweep does.
+	var coord *dist.Coordinator
+	if *workers != "" || *distAddr != "" {
+		coord, err = dist.StartCoordinator(dist.CoordinatorOptions{
+			Addr:       *distAddr,
+			LeaseTTL:   *leaseTTL,
+			Persistent: true,
+			Log:        os.Stderr,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(os.Stderr, "reramd: distributed coordinator on %s\n", coord.Addr())
+		if *workers != "" {
+			addrs := strings.Split(*workers, ",")
+			for i := range addrs {
+				addrs[i] = strings.TrimSpace(addrs[i])
+			}
+			attachCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := coord.AttachWorkers(attachCtx, addrs)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reramd: attaching workers: %v\n", err)
+			}
+		}
+	}
+
 	srv, err := serve.Start(serve.Options{
 		Addr: *addr,
 		Backend: &serve.SuiteBackend{
@@ -104,6 +142,7 @@ func run() int {
 			CheckpointRoot: *checkpointRoot,
 			CellTimeout:    *cellTimeout,
 			DefaultSolver:  defaultSolver,
+			Dist:           coord,
 		},
 		Admission: serve.AdmissionConfig{
 			MaxInflight: *maxInflight,

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// distGridArgs is the 2x2 grid both distributed e2e tests run; small
+// access counts keep each cell under a second.
+var distGridArgs = []string{
+	"-scheme", "Base,UDRVR+PR", "-workload", "mcf_m,zeu_m",
+	"-accesses", "300", "-json",
+}
+
+// startCoordinatorProc launches the CLI in coordinator mode and parses
+// the bound address off stderr; stderr keeps streaming into the
+// returned buffer for later lease/expiry assertions.
+func startCoordinatorProc(t *testing.T, bin string, extra ...string) (cmd *exec.Cmd, addr string, stdout, stderr *syncBuffer) {
+	t.Helper()
+	args := append(append([]string(nil), distGridArgs...), "-coordinator", "localhost:0")
+	args = append(args, extra...)
+	cmd = exec.Command(bin, args...)
+	stdout, stderr = &syncBuffer{}, &syncBuffer{}
+	cmd.Stdout = stdout
+	ep, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(ep)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			stderr.WriteString(line + "\n")
+			if a, ok := strings.CutPrefix(line, "reramsim: coordinator listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never announced its address; stderr:\n%s", stderr.String())
+	}
+	return cmd, addr, stdout, stderr
+}
+
+// syncBuffer is a concurrency-safe bytes.Buffer for process output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+func (s *syncBuffer) WriteString(str string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.WriteString(str)
+}
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startWorkerProc launches a CLI worker joined to addr.
+func startWorkerProc(t *testing.T, bin, addr string, env ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-worker", "-join", addr, "-jobs", "2")
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &syncBuffer{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// TestDistByteIdentity4Workers: a coordinator fanning the grid to four
+// worker processes must produce stdout byte-identical to a
+// single-process -jobs=8 run of the same grid.
+func TestDistByteIdentity4Workers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI six times")
+	}
+	bin := buildBinary(t)
+
+	local := exec.Command(bin, append(append([]string(nil), distGridArgs...), "-jobs", "8")...)
+	localOut, err := local.Output()
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+
+	cmd, addr, stdout, stderr := startCoordinatorProc(t, bin)
+	for i := 0; i < 4; i++ {
+		startWorkerProc(t, bin, addr)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("coordinator exit: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := stdout.String(); got != string(localOut) {
+		t.Errorf("distributed output differs from single-process run:\n--- distributed ---\n%s--- local ---\n%s", got, localOut)
+	}
+	// Sanity: the cells really ran on workers, not in the coordinator.
+	if !strings.Contains(stderr.String(), "merged Base/mcf_m from") {
+		t.Errorf("coordinator stderr shows no worker merges:\n%s", stderr.String())
+	}
+}
+
+// TestDistKillWorkerResume SIGKILLs the worker holding a pinned cell
+// mid-grid: its lease must expire, the cell must re-lease to a healthy
+// worker, and the final output must still be byte-identical to a
+// single-process run.
+func TestDistKillWorkerResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI several times, with lease-expiry waits")
+	}
+	bin := buildBinary(t)
+
+	local := exec.Command(bin, append(append([]string(nil), distGridArgs...), "-jobs", "8")...)
+	localOut, err := local.Output()
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+
+	cmd, addr, stdout, stderr := startCoordinatorProc(t, bin, "-lease-ttl", "500ms")
+
+	// The victim joins first and hangs on its pinned cell, so the grid
+	// cannot finish while it lives.
+	const pinned = "Base/mcf_m"
+	victim := startWorkerProc(t, bin, addr, "RERAMSIM_DIST_HANG_CELL="+pinned)
+
+	// Wait until the pinned cell is leased to the victim before killing
+	// it, so the kill provably interrupts an in-flight cell.
+	deadline := time.Now().Add(30 * time.Second)
+	leaseLine := fmt.Sprintf("lease %s -> ", pinned)
+	for !strings.Contains(stderr.String(), leaseLine) {
+		if time.Now().After(deadline) {
+			t.Fatalf("pinned cell never leased; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	// Two healthy workers finish the grid, including the re-leased cell.
+	for i := 0; i < 2; i++ {
+		startWorkerProc(t, bin, addr)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("coordinator exit: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	if !strings.Contains(stderr.String(), "lease expired: "+pinned) {
+		t.Errorf("no lease-expiry line for the pinned cell; stderr:\n%s", stderr.String())
+	}
+	if strings.Count(stderr.String(), leaseLine) < 2 {
+		t.Errorf("pinned cell was not re-leased; stderr:\n%s", stderr.String())
+	}
+	if got := stdout.String(); got != string(localOut) {
+		t.Errorf("post-recovery output differs from single-process run:\n--- distributed ---\n%s--- local ---\n%s", got, localOut)
+	}
+}

@@ -74,6 +74,12 @@ func main() {
 
 		solverFlag = flag.String("solver", "exact", "cold RESET-op pricing: exact (reference), batched (bit-identical SoA batch solves) or surrogate (calibrated table, bounded error)")
 
+		coordinator = flag.String("coordinator", "", "run the sweep as a distributed coordinator on this address (e.g. localhost:0), leasing cells to -worker processes; output is identical to a local run")
+		workerMode  = flag.Bool("worker", false, "run as a distributed sweep worker (with -join <addr>, or -listen <addr> for a standing agent)")
+		joinAddr    = flag.String("join", "", "worker: coordinator address to join")
+		listenAddr  = flag.String("listen", "", "worker: run a standing agent on this address; reramd -workers attaches coordinators to it")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease time-to-live; a worker missing renewals this long forfeits its cells for re-lease")
+
 		checkpointDir = flag.String("checkpoint-dir", "", "journal sweep cells to this directory (crash-safe; cold start)")
 		resumeDir     = flag.String("resume", "", "resume a journaled sweep from this checkpoint directory, skipping finished cells")
 		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell deadline in a sweep (0 = none); an exceeded cell is quarantined, not fatal")
@@ -106,6 +112,15 @@ func main() {
 		validateName("workload", w, experiments.Workloads())
 	}
 	validateName("fault-profile", *faultProfile, fault.Profiles())
+	if *workerMode && *joinAddr == "" && *listenAddr == "" {
+		fail(fmt.Errorf("-worker needs -join <addr> or -listen <addr>"))
+	}
+	if !*workerMode && (*joinAddr != "" || *listenAddr != "") {
+		fail(fmt.Errorf("-join/-listen require -worker"))
+	}
+	if *workerMode && *coordinator != "" {
+		fail(fmt.Errorf("-worker and -coordinator are mutually exclusive"))
+	}
 	if *checkpointDir != "" && *resumeDir != "" {
 		fail(fmt.Errorf("-checkpoint-dir and -resume are mutually exclusive (resume implies the checkpoint dir)"))
 	}
@@ -172,6 +187,16 @@ func main() {
 		}
 	}()
 
+	// Worker mode never calibrates locally: suites are rebuilt from each
+	// coordinator's wire config, so it branches before NewSuite.
+	if *workerMode {
+		stack.SetReady(true)
+		code := runWorkerMode(ctx, *joinAddr, *listenAddr, *jobsFlag)
+		dumpMetrics(*metrics, *metricsFmt)
+		cleanup()
+		os.Exit(code)
+	}
+
 	suite, err := experiments.NewSuite(*accesses)
 	if err != nil {
 		fail(err)
@@ -191,13 +216,15 @@ func main() {
 	suite = suite.ForSolver(solverMode)
 	stack.SetReady(true) // suite calibrated: work can be admitted
 
-	if len(schemes) > 1 || len(workloads) > 1 || *checkpointDir != "" || *resumeDir != "" {
+	if len(schemes) > 1 || len(workloads) > 1 || *checkpointDir != "" || *resumeDir != "" || *coordinator != "" {
 		code := runSweep(suite, schemes, workloads, sweepOptions{
 			checkpointDir: *checkpointDir,
 			resumeDir:     *resumeDir,
 			cellTimeout:   *cellTimeout,
 			jsonOut:       *jsonOut,
 			stack:         stack,
+			coordinator:   *coordinator,
+			leaseTTL:      *leaseTTL,
 		})
 		dumpMetrics(*metrics, *metricsFmt)
 		cleanup()
@@ -301,6 +328,8 @@ type sweepOptions struct {
 	cellTimeout   time.Duration
 	jsonOut       bool
 	stack         *telemetry.Stack
+	coordinator   string // non-empty: lease cells to workers instead of running locally
+	leaseTTL      time.Duration
 }
 
 // runSweep executes the schemes x workloads grid through the crash-safe
@@ -335,9 +364,18 @@ func runSweep(suite *experiments.Suite, schemes, workloads []string, o sweepOpti
 	}
 	suite.SetEngine(eng)
 	o.stack.SetProgress(eng.Progress)
-	rep, runErr := suite.RunGrid(eng, pairs)
+	var rep *jobs.Report
+	var runErr error
+	if o.coordinator != "" {
+		rep, runErr = runCoordinated(suite, eng, pairs, digest, o.coordinator, o.leaseTTL)
+	} else {
+		rep, runErr = suite.RunGrid(eng, pairs)
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "reramsim:", runErr)
+		if rep == nil {
+			return 1
+		}
 		return rep.ExitCode(runErr)
 	}
 	quar := make(map[string]jobs.CellFailure, len(rep.Quarantined))

@@ -1,0 +1,619 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"reramsim/internal/jobs"
+)
+
+// CoordinatorOptions configures StartCoordinator. The zero value of
+// every field selects a sensible default; Addr defaults to a random
+// localhost port.
+type CoordinatorOptions struct {
+	// Addr is the HTTP listen address (default "localhost:0").
+	Addr string
+	// LeaseTTL is how long a granted lease lives without renewal
+	// (default 10s). Workers renew at TTL/3, so a SIGKILLed worker's
+	// cells re-lease after at most one TTL.
+	LeaseTTL time.Duration
+	// LeaseBatch caps cells per lease response (default 4); workers may
+	// ask for fewer.
+	LeaseBatch int
+	// MaxLeases is the poison backstop: a cell granted more than this
+	// many leases without a result is quarantined (default 5), so one
+	// worker-killing cell cannot starve the sweep forever.
+	MaxLeases int
+	// LeasePoll bounds the lease long-poll: a request finding no work
+	// waits up to this long for a sweep to arrive before answering
+	// empty (default 250ms). Idle workers therefore pick up new sweeps
+	// within milliseconds without hot-polling.
+	LeasePoll time.Duration
+	// DrainGrace is how long a cancelled RunSweep keeps accepting
+	// in-flight completions before returning partial (default =
+	// LeaseTTL): workers drain cells they already hold, and their
+	// results checkpoint before the process exits.
+	DrainGrace time.Duration
+	// Persistent keeps the coordinator serving after a sweep finishes
+	// (the reramd daemon fleet); one-shot coordinators (reramsim
+	// -coordinator) tell workers Done once their sweep ends.
+	Persistent bool
+	// Log receives human-readable lease/merge events (nil discards).
+	Log io.Writer
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Addr == "" {
+		o.Addr = "localhost:0"
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.LeaseBatch <= 0 {
+		o.LeaseBatch = 4
+	}
+	if o.MaxLeases <= 0 {
+		o.MaxLeases = 5
+	}
+	if o.LeasePoll <= 0 {
+		o.LeasePoll = 250 * time.Millisecond
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = o.LeaseTTL
+	}
+	return o
+}
+
+// sweep is one active grid: its lease table, the engine its records
+// merge into, and the report being assembled for RunSweep's caller.
+type sweep struct {
+	digest   string
+	specJSON []byte
+	eng      *jobs.Engine
+
+	mu       sync.Mutex
+	table    *leaseTable
+	rep      *jobs.Report
+	failures map[string]jobs.CellFailure
+	draining bool
+	finished chan struct{} // closed when remaining hits zero
+	done     bool
+}
+
+// finishLocked closes the completion channel once.
+func (s *sweep) finishLocked() {
+	if !s.done && s.table.remaining == 0 {
+		s.done = true
+		close(s.finished)
+	}
+}
+
+// Coordinator owns sweeps and serves the lease protocol. One
+// coordinator can run several sweeps concurrently (the reramd daemon
+// fans every /v1/sweep request to the same worker fleet); a one-shot
+// CLI coordinator runs a single RunSweep and closes.
+type Coordinator struct {
+	opts CoordinatorOptions
+	ln   net.Listener
+	srv  *http.Server
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweep
+	queue   []*sweep             // registration order: lease scans oldest first
+	workers map[string]time.Time // worker id -> last contact
+	allDone bool                 // one-shot: every sweep ended; workers may exit
+	notify  chan struct{}        // closed+replaced when work arrives (lease long-poll)
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// StartCoordinator binds the listener and starts serving the protocol.
+// Close shuts it down.
+func StartCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	c := &Coordinator{
+		opts:        opts,
+		ln:          ln,
+		sweeps:      make(map[string]*sweep),
+		workers:     make(map[string]time.Time),
+		notify:      make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /dist/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /dist/v1/renew", c.handleRenew)
+	mux.HandleFunc("POST /dist/v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /dist/v1/grid", c.handleGrid)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	c.srv = &http.Server{Handler: mux}
+	go func() { _ = c.srv.Serve(ln) }()
+	go c.janitor()
+	return c, nil
+}
+
+// Addr returns the bound listen address ("host:port").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops the protocol server and the lease janitor.
+func (c *Coordinator) Close() error {
+	close(c.janitorStop)
+	<-c.janitorDone
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return c.srv.Shutdown(ctx)
+}
+
+// LiveWorkers counts workers heard from within three lease TTLs — the
+// signal reramd uses to decide between fanning a sweep out and running
+// it locally.
+func (c *Coordinator) LiveWorkers() int {
+	cutoff := time.Now().Add(-3 * c.opts.LeaseTTL)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, last := range c.workers {
+		if last.After(cutoff) {
+			n++
+		}
+	}
+	obsWorkersLive.Set(float64(n))
+	return n
+}
+
+// AttachWorkers POSTs this coordinator's address to each worker agent
+// (reramsim -worker -listen <addr>), so a daemon boot can summon an
+// existing fleet. Unreachable agents are reported in the returned error
+// but do not stop the others.
+func (c *Coordinator) AttachWorkers(ctx context.Context, addrs []string) error {
+	body, err := json.Marshal(AttachRequest{Coordinator: c.Addr()})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	var errs []error
+	for _, addr := range addrs {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			"http://"+addr+"/worker/v1/attach", bytes.NewReader(body))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("agent %s: %w", addr, err))
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("agent %s: %w", addr, err))
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			errs = append(errs, fmt.Errorf("agent %s: attach status %d", addr, resp.StatusCode))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// logf writes a coordinator event to the configured log.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		fmt.Fprintf(c.opts.Log, "dist: "+format+"\n", args...)
+	}
+}
+
+// RunSweep executes one grid across the worker fleet: cells the engine
+// already holds (a resumed journal, an earlier run) are reported
+// resumed and never leased; the rest are leased out, and every returned
+// record merges into eng's journal through the same path a local run
+// uses — so the journal, the /progress view and the final Report are
+// indistinguishable from a single-process run.
+//
+// Cancelling ctx drains: leasing stops, workers' renewals report the
+// sweep draining, in-flight completions are accepted for DrainGrace,
+// then the partial report returns with an error wrapping the
+// cancellation cause (the jobs exit-code contract maps it to 130).
+func (c *Coordinator) RunSweep(ctx context.Context, spec GridSpec, eng *jobs.Engine) (*jobs.Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding grid spec: %w", err)
+	}
+	keys := spec.Keys()
+	done, resumed := eng.Prepare(keys)
+	rep := &jobs.Report{Done: make(map[string][]byte, len(keys)), Resumed: resumed}
+	for k, p := range done {
+		rep.Done[k] = p
+	}
+	var pending []string
+	for _, k := range keys {
+		if _, ok := done[k]; !ok {
+			pending = append(pending, k)
+		}
+	}
+	if len(pending) == 0 {
+		return rep, nil
+	}
+
+	sw := &sweep{
+		digest:   spec.Digest,
+		specJSON: specJSON,
+		eng:      eng,
+		table:    newLeaseTable(pending),
+		rep:      rep,
+		failures: make(map[string]jobs.CellFailure, 4),
+		finished: make(chan struct{}),
+	}
+	c.mu.Lock()
+	if _, dup := c.sweeps[spec.Digest]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: sweep %s already running", spec.Digest)
+	}
+	c.sweeps[spec.Digest] = sw
+	c.queue = append(c.queue, sw)
+	obsSweepsActive.Set(float64(len(c.sweeps)))
+	// Wake lease long-polls: work arrived.
+	close(c.notify)
+	c.notify = make(chan struct{})
+	c.mu.Unlock()
+	c.logf("sweep %s: %d cell(s) to lease (%d resumed)", shortDigest(spec.Digest), len(pending), len(resumed))
+
+	var runErr error
+	select {
+	case <-sw.finished:
+	case <-ctx.Done():
+		// Drain: stop leasing, keep merging in-flight results briefly.
+		sw.mu.Lock()
+		sw.draining = true
+		sw.mu.Unlock()
+		c.logf("sweep %s: draining (%v)", shortDigest(spec.Digest), context.Cause(ctx))
+		select {
+		case <-sw.finished:
+		case <-time.After(c.opts.DrainGrace):
+		}
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		runErr = fmt.Errorf("dist: sweep interrupted: %w", cause)
+	}
+
+	c.mu.Lock()
+	delete(c.sweeps, spec.Digest)
+	for i, q := range c.queue {
+		if q == sw {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			break
+		}
+	}
+	if len(c.sweeps) == 0 && !c.opts.Persistent {
+		c.allDone = true
+	}
+	obsSweepsActive.Set(float64(len(c.sweeps)))
+	c.mu.Unlock()
+
+	sw.mu.Lock()
+	for _, f := range sw.failures {
+		rep.Quarantined = append(rep.Quarantined, f)
+	}
+	sw.mu.Unlock()
+	sort.Strings(rep.Executed)
+	sort.Slice(rep.Quarantined, func(i, j int) bool { return rep.Quarantined[i].Key < rep.Quarantined[j].Key })
+	return rep, runErr
+}
+
+// shortDigest abbreviates a grid digest for log lines.
+func shortDigest(d string) string {
+	if len(d) > 16 {
+		return d[:16]
+	}
+	return d
+}
+
+// touchWorker records worker contact (the liveness signal).
+func (c *Coordinator) touchWorker(id string) {
+	c.mu.Lock()
+	c.workers[id] = time.Now()
+	c.mu.Unlock()
+}
+
+// handleLease grants up to min(req.Max, LeaseBatch) cells from the
+// oldest sweep with pending work. With no work anywhere it long-polls
+// up to LeasePoll for a sweep to arrive, then answers empty with a
+// WaitMs hint (or Done for a finished one-shot coordinator).
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, err := readBody(w, r, DecodeLeaseRequest)
+	if err != nil {
+		return
+	}
+	c.touchWorker(req.Worker)
+	max := req.Max
+	if max > c.opts.LeaseBatch {
+		max = c.opts.LeaseBatch
+	}
+	deadline := time.Now().Add(c.opts.LeasePoll)
+	for {
+		resp, wait := c.tryLease(req.Worker, max)
+		if len(resp.Leases) > 0 || resp.Done || !wait {
+			writeJSON(w, resp)
+			return
+		}
+		// Nothing to hand out: wait for new work, the poll budget, or
+		// the client hanging up.
+		c.mu.Lock()
+		notify := c.notify
+		c.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			resp.WaitMs = c.opts.LeasePoll.Milliseconds()
+			writeJSON(w, resp)
+			return
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-notify:
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// tryLease attempts one grant pass. wait=false means the response is
+// final (Done or a draining hint) and the long-poll should not retry.
+func (c *Coordinator) tryLease(worker string, max int) (LeaseResponse, bool) {
+	c.mu.Lock()
+	if c.allDone {
+		c.mu.Unlock()
+		return LeaseResponse{Done: true}, false
+	}
+	queue := append([]*sweep(nil), c.queue...)
+	c.mu.Unlock()
+
+	now := time.Now()
+	for _, sw := range queue {
+		sw.mu.Lock()
+		if sw.draining || sw.done {
+			sw.mu.Unlock()
+			continue
+		}
+		leases := sw.table.lease(worker, max, c.opts.LeaseTTL, now)
+		sw.mu.Unlock()
+		if len(leases) == 0 {
+			continue
+		}
+		for i := range leases {
+			leases[i].Digest = sw.digest
+			sw.eng.MarkLeased(leases[i].Key, worker)
+			c.logf("lease %s -> %s (%s)", leases[i].Key, worker, leases[i].ID)
+		}
+		obsLeasesGranted.Add(uint64(len(leases)))
+		return LeaseResponse{Leases: leases}, true
+	}
+	return LeaseResponse{}, true
+}
+
+// handleRenew extends the worker's leases across every active sweep.
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	req, err := readBody(w, r, DecodeRenewRequest)
+	if err != nil {
+		return
+	}
+	c.touchWorker(req.Worker)
+	c.mu.Lock()
+	queue := append([]*sweep(nil), c.queue...)
+	c.mu.Unlock()
+
+	now := time.Now()
+	resp := RenewResponse{TTLMs: c.opts.LeaseTTL.Milliseconds()}
+	remaining := req.IDs
+	for _, sw := range queue {
+		if len(remaining) == 0 {
+			break
+		}
+		sw.mu.Lock()
+		renewed, lost := sw.table.renew(req.Worker, remaining, c.opts.LeaseTTL, now)
+		sw.mu.Unlock()
+		resp.Renewed = append(resp.Renewed, renewed...)
+		remaining = lost
+	}
+	resp.Lost = remaining
+	obsLeasesRenewed.Add(uint64(len(resp.Renewed)))
+	obsLeasesLost.Add(uint64(len(resp.Lost)))
+	writeJSON(w, resp)
+}
+
+// handleComplete merges a worker's returned records into the sweep's
+// engine (journal + caches + progress) and advances the lease table.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	req, err := readBody(w, r, DecodeCompleteRequest)
+	if err != nil {
+		return
+	}
+	c.touchWorker(req.Worker)
+	recs, derr := jobs.DecodeSegment(req.Segment)
+	if derr != nil && len(recs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad segment: %v", derr))
+		return
+	}
+	c.mu.Lock()
+	sw := c.sweeps[req.Digest]
+	c.mu.Unlock()
+	if sw == nil {
+		// Unknown or already-finished sweep: reject everything; the
+		// worker drops the records (the results were either merged from
+		// another worker or the sweep was torn down).
+		resp := CompleteResponse{}
+		for _, rec := range recs {
+			resp.Rejected = append(resp.Rejected, rec.Key)
+		}
+		obsMergeRejected.Add(uint64(len(resp.Rejected)))
+		writeJSON(w, resp)
+		return
+	}
+	resp := c.mergeRecords(sw, req.Worker, recs)
+	writeJSON(w, resp)
+}
+
+// mergeRecords applies one record batch to a sweep under its lock.
+func (c *Coordinator) mergeRecords(sw *sweep, worker string, recs []jobs.Record) CompleteResponse {
+	var resp CompleteResponse
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for _, rec := range recs {
+		quarantined := rec.Kind == jobs.RecordQuarantined
+		if !sw.table.finish(rec.Key, worker, quarantined) {
+			resp.Rejected = append(resp.Rejected, rec.Key)
+			obsMergeRejected.Inc()
+			continue
+		}
+		completed, failures, ierr := sw.eng.ImportRecords(worker, []jobs.Record{rec})
+		if ierr != nil {
+			// Journal write failure: the cell is merged in memory state
+			// only if the engine said so; report what happened and keep
+			// the sweep going — a missing journal record means the cell
+			// re-runs on a future resume, never a wrong result.
+			c.logf("merge %s from %s: journal append failed: %v", rec.Key, worker, ierr)
+		}
+		for _, k := range completed {
+			sw.rep.Done[k] = mustPayload(sw.eng, k)
+			sw.rep.Executed = append(sw.rep.Executed, k)
+			delete(sw.failures, k) // completion supersedes quarantine
+			obsMergedDone.Inc()
+			c.logf("merged %s from %s", k, worker)
+		}
+		for _, f := range failures {
+			sw.failures[f.Key] = f
+			obsMergedQuar.Inc()
+			c.logf("quarantined %s from %s (%s): %v", f.Key, worker, f.Reason, f.Err)
+		}
+		if len(completed) == 0 && len(failures) == 0 {
+			// The engine deduplicated (already done): undo nothing — the
+			// table transition stands, the record is just redundant.
+			resp.Rejected = append(resp.Rejected, rec.Key)
+			obsMergeRejected.Inc()
+			continue
+		}
+		resp.Accepted = append(resp.Accepted, rec.Key)
+	}
+	sw.finishLocked()
+	return resp
+}
+
+// mustPayload fetches the just-imported payload for key.
+func mustPayload(eng *jobs.Engine, key string) []byte {
+	p, _ := eng.Completed(key)
+	return p
+}
+
+// handleGrid serves a sweep's spec to workers priming their runner.
+func (c *Coordinator) handleGrid(w http.ResponseWriter, r *http.Request) {
+	digest := r.URL.Query().Get("digest")
+	c.mu.Lock()
+	sw := c.sweeps[digest]
+	c.mu.Unlock()
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep digest")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(sw.specJSON)
+}
+
+// janitor reclaims expired leases (re-lease on worker death) and
+// quarantines poisoned cells. It ticks at LeaseTTL/4, bounded to stay
+// responsive for test-scale TTLs.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	period := c.opts.LeaseTTL / 4
+	if period < 25*time.Millisecond {
+		period = 25 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case now := <-t.C:
+			c.reclaim(now)
+		}
+	}
+}
+
+// reclaim runs one expiry pass over every sweep.
+func (c *Coordinator) reclaim(now time.Time) {
+	c.mu.Lock()
+	queue := append([]*sweep(nil), c.queue...)
+	c.mu.Unlock()
+	for _, sw := range queue {
+		sw.mu.Lock()
+		released, poisoned := sw.table.expire(now, c.opts.MaxLeases)
+		for _, k := range released {
+			sw.eng.MarkReleased(k)
+			obsLeasesExpired.Inc()
+			c.logf("lease expired: %s re-leasable", k)
+		}
+		sw.mu.Unlock()
+		for _, k := range poisoned {
+			obsPoisoned.Inc()
+			c.logf("cell %s poisoned: %d leases expired without a result", k, c.opts.MaxLeases)
+			rec := jobs.Record{
+				Kind: jobs.RecordQuarantined,
+				Key:  k,
+				Data: jobs.QuarantinePayload("error",
+					fmt.Sprintf("dist: %d leases expired without a result (workers lost?)", c.opts.MaxLeases), ""),
+			}
+			c.mergeRecords(sw, "", []jobs.Record{rec})
+		}
+	}
+}
+
+// readBody reads and strictly decodes a request body, writing the HTTP
+// error itself when decoding fails.
+func readBody[T any](w http.ResponseWriter, r *http.Request, decode func([]byte) (T, error)) (T, error) {
+	var zero T
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body")
+		return zero, err
+	}
+	msg, err := decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return zero, err
+	}
+	return msg, nil
+}
+
+// maxBodyBytes bounds protocol bodies; segments carry whole cell
+// payloads, so the cap is generous.
+const maxBodyBytes = 64 << 20
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}

@@ -1,0 +1,541 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reramsim/internal/jobs"
+)
+
+// testSpec builds a grid spec over schemes x workloads with a synthetic
+// digest (unit tests never touch real suites; payloads come from fake
+// runners).
+func testSpec(digest string, schemes, workloads []string) GridSpec {
+	var spec GridSpec
+	spec.Digest = digest
+	for _, s := range schemes {
+		for _, w := range workloads {
+			spec.Pairs = append(spec.Pairs, Pair{Scheme: s, Workload: w})
+		}
+	}
+	return spec
+}
+
+// fakePayload is the deterministic cell payload fake runners produce —
+// any two workers computing the same cell return identical bytes, the
+// property the merge path relies on.
+func fakePayload(key string) []byte { return []byte("payload:" + key) }
+
+func fakeRunner(spec GridSpec) (CellFunc, error) {
+	return func(_ context.Context, key string) ([]byte, error) {
+		return fakePayload(key), nil
+	}, nil
+}
+
+// startCoordinator boots a coordinator with test-friendly timing.
+func startCoordinator(t *testing.T, opts CoordinatorOptions) *Coordinator {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "localhost:0"
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = 500 * time.Millisecond
+	}
+	c, err := StartCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// runSweepAsync launches RunSweep on a goroutine and returns a channel
+// carrying its result.
+type sweepResult struct {
+	rep *jobs.Report
+	err error
+}
+
+func runSweepAsync(ctx context.Context, c *Coordinator, spec GridSpec, eng *jobs.Engine) <-chan sweepResult {
+	ch := make(chan sweepResult, 1)
+	go func() {
+		rep, err := c.RunSweep(ctx, spec, eng)
+		ch <- sweepResult{rep, err}
+	}()
+	return ch
+}
+
+// TestDistributedSweepWithWorkerFleet runs a full sweep through three
+// real worker loops (fake runners) and checks the merged report covers
+// every cell with the deterministic payloads.
+func TestDistributedSweepWithWorkerFleet(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{})
+	eng, err := jobs.Open(jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("grid-test-1", []string{"A", "B"}, []string{"w1", "w2", "w3"})
+
+	res := runSweepAsync(context.Background(), c, spec, eng)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := RunWorker(context.Background(), WorkerOptions{
+				Join:      c.Addr(),
+				ID:        fmt.Sprintf("tw-%d", i),
+				Max:       2,
+				Poll:      20 * time.Millisecond,
+				NewRunner: fakeRunner,
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("RunSweep: %v", r.err)
+	}
+	keys := spec.Keys()
+	if len(r.rep.Done) != len(keys) {
+		t.Fatalf("Done has %d cells, want %d", len(r.rep.Done), len(keys))
+	}
+	for _, k := range keys {
+		if !bytes.Equal(r.rep.Done[k], fakePayload(k)) {
+			t.Errorf("cell %s payload = %q, want %q", k, r.rep.Done[k], fakePayload(k))
+		}
+	}
+	if !sort.StringsAreSorted(r.rep.Executed) {
+		t.Errorf("Executed not sorted: %v", r.rep.Executed)
+	}
+	if len(r.rep.Quarantined) != 0 {
+		t.Errorf("unexpected quarantines: %v", r.rep.Quarantined)
+	}
+	wg.Wait() // one-shot coordinator reports Done; workers exit clean
+}
+
+// postJSONTest is the raw protocol client for adversarial tests.
+func postJSONTest[T any](t *testing.T, addr, path string, req any, decode func([]byte) (T, error)) T {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+	}
+	msg, err := decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+	return msg
+}
+
+// leaseAll drains every pending cell of the sweep to the named worker.
+func leaseAll(t *testing.T, addr, worker string, want int) []Lease {
+	t.Helper()
+	var out []Lease
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("leased only %d/%d cells", len(out), want)
+		}
+		resp := postJSONTest(t, addr, "/dist/v1/lease", LeaseRequest{Worker: worker, Max: 4}, DecodeLeaseResponse)
+		out = append(out, resp.Leases...)
+	}
+	return out
+}
+
+// completeCells posts one segment per record in the given order.
+func completeCells(t *testing.T, addr, worker, digest string, leases map[string]string, recs []jobs.Record) {
+	t.Helper()
+	for _, rec := range recs {
+		req := CompleteRequest{
+			Worker:  worker,
+			Digest:  digest,
+			Leases:  leases,
+			Segment: jobs.EncodeSegment([]jobs.Record{rec}),
+		}
+		postJSONTest(t, addr, "/dist/v1/complete", req, DecodeCompleteResponse)
+	}
+}
+
+// TestMergeDeterminismAdversarialOrders replays the same sweep twice
+// with worker results returned in opposite orders — plus a quarantine
+// later superseded by a completion, and duplicate completions — and
+// requires the final report and the reloaded journal to be identical.
+func TestMergeDeterminismAdversarialOrders(t *testing.T) {
+	schemes, workloads := []string{"A", "B"}, []string{"w1", "w2"}
+	run := func(t *testing.T, dir string, reverse bool) (*jobs.Report, map[string][]byte) {
+		c := startCoordinator(t, CoordinatorOptions{})
+		spec := testSpec("grid-adv-1", schemes, workloads)
+		eng, err := jobs.Open(jobs.Options{Dir: dir, Digest: spec.Digest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runSweepAsync(context.Background(), c, spec, eng)
+
+		keys := spec.Keys()
+		leases := leaseAll(t, c.Addr(), "adv", len(keys))
+		byKey := make(map[string]string, len(leases))
+		for _, l := range leases {
+			byKey[l.Key] = l.ID
+		}
+
+		// Adversarial prologue: quarantine keys[0], then complete it (the
+		// completion must supersede), then a duplicate completion (must be
+		// rejected without corrupting state).
+		first := keys[0]
+		completeCells(t, c.Addr(), "adv", spec.Digest, byKey, []jobs.Record{
+			{Kind: jobs.RecordQuarantined, Key: first, Data: jobs.QuarantinePayload("error", "injected", "")},
+			{Kind: jobs.RecordCompleted, Key: first, Data: fakePayload(first)},
+			{Kind: jobs.RecordCompleted, Key: first, Data: fakePayload(first)},
+		})
+
+		rest := append([]string(nil), keys[1:]...)
+		if reverse {
+			for i, j := 0, len(rest)-1; i < j; i, j = i+1, j-1 {
+				rest[i], rest[j] = rest[j], rest[i]
+			}
+		}
+		var recs []jobs.Record
+		for _, k := range rest {
+			recs = append(recs, jobs.Record{Kind: jobs.RecordCompleted, Key: k, Data: fakePayload(k)})
+		}
+		completeCells(t, c.Addr(), "adv", spec.Digest, byKey, recs)
+
+		r := <-res
+		if r.err != nil {
+			t.Fatalf("RunSweep: %v", r.err)
+		}
+		// Reload the journal the way -resume would.
+		eng2, err := jobs.Open(jobs.Options{Dir: dir, Resume: true, Digest: spec.Digest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, _ := eng2.Prepare(keys)
+		return r.rep, done
+	}
+
+	rep1, disk1 := run(t, filepath.Join(t.TempDir(), "fwd"), false)
+	rep2, disk2 := run(t, filepath.Join(t.TempDir(), "rev"), true)
+
+	if !reflect.DeepEqual(rep1.Done, rep2.Done) {
+		t.Error("report Done maps differ between return orders")
+	}
+	if !reflect.DeepEqual(rep1.Executed, rep2.Executed) {
+		t.Errorf("Executed differ: %v vs %v", rep1.Executed, rep2.Executed)
+	}
+	if len(rep1.Quarantined) != 0 || len(rep2.Quarantined) != 0 {
+		t.Errorf("superseded quarantine leaked into report: %v / %v", rep1.Quarantined, rep2.Quarantined)
+	}
+	if !reflect.DeepEqual(disk1, disk2) {
+		t.Error("journal reloads differ between return orders")
+	}
+	if !reflect.DeepEqual(disk1, rep1.Done) {
+		t.Error("journal reload differs from live report")
+	}
+}
+
+// TestLeaseExpiryReleases kills a worker silently (leases, never renews
+// or completes) and checks the cell re-leases to a second worker and
+// the sweep still finishes with the right payloads.
+func TestLeaseExpiryReleases(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{LeaseTTL: 150 * time.Millisecond})
+	eng, err := jobs.Open(jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("grid-exp-1", []string{"A"}, []string{"w1", "w2"})
+	res := runSweepAsync(context.Background(), c, spec, eng)
+
+	// The doomed worker takes everything and vanishes (simulated
+	// SIGKILL: no renewals, no completions).
+	doomed := leaseAll(t, c.Addr(), "doomed", len(spec.Keys()))
+	if len(doomed) == 0 {
+		t.Fatal("doomed worker got no leases")
+	}
+
+	// A healthy worker joins; it must inherit the cells after expiry.
+	healthyErr := make(chan error, 1)
+	go func() {
+		healthyErr <- RunWorker(context.Background(), WorkerOptions{
+			Join: c.Addr(), ID: "healthy", Max: 2,
+			Poll:      20 * time.Millisecond,
+			NewRunner: fakeRunner,
+		})
+	}()
+
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("RunSweep: %v", r.err)
+		}
+		for _, k := range spec.Keys() {
+			if !bytes.Equal(r.rep.Done[k], fakePayload(k)) {
+				t.Errorf("cell %s payload = %q", k, r.rep.Done[k])
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not recover from the dead worker")
+	}
+	if err := <-healthyErr; err != nil {
+		t.Errorf("healthy worker: %v", err)
+	}
+}
+
+// TestPoisonedCellQuarantines drives one cell through MaxLeases expiry
+// cycles with no worker ever finishing it; the coordinator must
+// quarantine it so the sweep terminates.
+func TestPoisonedCellQuarantines(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{
+		LeaseTTL:  100 * time.Millisecond,
+		MaxLeases: 2,
+	})
+	eng, err := jobs.Open(jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("grid-poison-1", []string{"A"}, []string{"w1"})
+	res := runSweepAsync(context.Background(), c, spec, eng)
+
+	// Lease the cell repeatedly, never completing it.
+	go func() {
+		for i := 0; ; i++ {
+			resp, err := func() (LeaseResponse, error) {
+				body, _ := json.Marshal(LeaseRequest{Worker: fmt.Sprintf("flaky-%d", i), Max: 1})
+				hr, err := http.Post("http://"+c.Addr()+"/dist/v1/lease", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return LeaseResponse{}, err
+				}
+				defer hr.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(hr.Body)
+				return DecodeLeaseResponse(buf.Bytes())
+			}()
+			if err != nil || resp.Done {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("RunSweep: %v", r.err)
+		}
+		if len(r.rep.Quarantined) != 1 {
+			t.Fatalf("Quarantined = %v, want exactly the poisoned cell", r.rep.Quarantined)
+		}
+		q := r.rep.Quarantined[0]
+		if q.Key != "A/w1" || !strings.Contains(q.Err.Error(), "leases expired") {
+			t.Errorf("quarantine = %+v", q)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("poisoned cell never quarantined; sweep hung")
+	}
+}
+
+// TestResumeSkipsFinishedCells journals a first distributed sweep, then
+// re-runs it with Resume: every cell must be served from disk with no
+// leases granted.
+func TestResumeSkipsFinishedCells(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("grid-resume-1", []string{"A"}, []string{"w1", "w2"})
+
+	c := startCoordinator(t, CoordinatorOptions{})
+	eng, err := jobs.Open(jobs.Options{Dir: dir, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSweepAsync(context.Background(), c, spec, eng)
+	werr := make(chan error, 1)
+	go func() {
+		werr <- RunWorker(context.Background(), WorkerOptions{
+			Join: c.Addr(), ID: "w", Max: 2, Poll: 20 * time.Millisecond, NewRunner: fakeRunner,
+		})
+	}()
+	if r := <-res; r.err != nil {
+		t.Fatalf("first sweep: %v", r.err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	c2 := startCoordinator(t, CoordinatorOptions{})
+	eng2, err := jobs.Open(jobs.Options{Dir: dir, Resume: true, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c2.RunSweep(context.Background(), spec, eng2)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if len(rep.Resumed) != len(spec.Keys()) {
+		t.Errorf("Resumed = %v, want all %d cells", rep.Resumed, len(spec.Keys()))
+	}
+	for _, k := range spec.Keys() {
+		if !bytes.Equal(rep.Done[k], fakePayload(k)) {
+			t.Errorf("resumed cell %s payload = %q", k, rep.Done[k])
+		}
+	}
+}
+
+// TestDrainOnCancel cancels a sweep mid-flight and checks RunSweep
+// returns the partial report with the cancellation cause wrapped.
+func TestDrainOnCancel(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{
+		LeaseTTL:   200 * time.Millisecond,
+		DrainGrace: 100 * time.Millisecond,
+	})
+	eng, err := jobs.Open(jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("grid-drain-1", []string{"A"}, []string{"w1", "w2"})
+	ctx, cancel := context.WithCancel(context.Background())
+	res := runSweepAsync(ctx, c, spec, eng)
+
+	// One cell completes, then the sweep is cancelled with the other
+	// still leased.
+	keys := spec.Keys()
+	leases := leaseAll(t, c.Addr(), "w", len(keys))
+	byKey := map[string]string{}
+	for _, l := range leases {
+		byKey[l.Key] = l.ID
+	}
+	completeCells(t, c.Addr(), "w", spec.Digest, byKey, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: keys[0], Data: fakePayload(keys[0])},
+	})
+	cancel()
+
+	select {
+	case r := <-res:
+		if r.err == nil {
+			t.Fatal("cancelled sweep returned nil error")
+		}
+		if r.rep == nil {
+			t.Fatal("cancelled sweep returned nil report")
+		}
+		if !bytes.Equal(r.rep.Done[keys[0]], fakePayload(keys[0])) {
+			t.Errorf("completed cell missing from partial report")
+		}
+		if _, ok := r.rep.Done[keys[1]]; ok {
+			t.Errorf("unfinished cell present in partial report")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sweep did not drain")
+	}
+}
+
+// Lease-table state-machine unit tests (no HTTP).
+
+func TestLeaseTableSchemeBatching(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1", "A/w2", "B/w1", "B/w2"})
+	now := time.Now()
+	got := tab.lease("w", 4, time.Second, now)
+	var keys []string
+	for _, l := range got {
+		keys = append(keys, l.Key)
+	}
+	want := []string{"A/w1", "A/w2"} // stops at the scheme boundary
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("lease batch = %v, want %v", keys, want)
+	}
+	got = tab.lease("w", 4, time.Second, now)
+	keys = keys[:0]
+	for _, l := range got {
+		keys = append(keys, l.Key)
+	}
+	if want := []string{"B/w1", "B/w2"}; !reflect.DeepEqual(keys, want) {
+		t.Errorf("second batch = %v, want %v", keys, want)
+	}
+}
+
+func TestLeaseTableExpiryAndPoison(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1"})
+	now := time.Now()
+	for cycle := 1; cycle <= 2; cycle++ {
+		ls := tab.lease("w", 1, time.Second, now)
+		if len(ls) != 1 {
+			t.Fatalf("cycle %d: got %d leases", cycle, len(ls))
+		}
+		released, poisoned := tab.expire(now.Add(2*time.Second), 2)
+		if cycle == 1 {
+			if len(released) != 1 || len(poisoned) != 0 {
+				t.Fatalf("cycle 1: released=%v poisoned=%v", released, poisoned)
+			}
+		} else {
+			if len(released) != 0 || len(poisoned) != 1 {
+				t.Fatalf("cycle 2: released=%v poisoned=%v", released, poisoned)
+			}
+		}
+	}
+}
+
+func TestLeaseTableFinishDedupAndSupersede(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1"})
+	tab.lease("w", 1, time.Second, time.Now())
+	if !tab.finish("A/w1", "w", true) {
+		t.Fatal("quarantine transition refused")
+	}
+	if tab.remaining != 0 {
+		t.Fatalf("remaining = %d after quarantine", tab.remaining)
+	}
+	if tab.finish("A/w1", "w", true) {
+		t.Error("duplicate quarantine accepted")
+	}
+	if !tab.finish("A/w1", "w2", false) {
+		t.Error("completion did not supersede quarantine")
+	}
+	if tab.remaining != 0 {
+		t.Fatalf("remaining = %d after supersede (double-decrement?)", tab.remaining)
+	}
+	if tab.finish("A/w1", "w", false) {
+		t.Error("duplicate completion accepted")
+	}
+	if tab.finish("A/w1", "w", true) {
+		t.Error("quarantine overrode a completion")
+	}
+}
+
+func TestLeaseTableRenew(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1"})
+	now := time.Now()
+	ls := tab.lease("w", 1, time.Second, now)
+	renewed, lost := tab.renew("w", []string{ls[0].ID, "bogus#1"}, time.Second, now)
+	if len(renewed) != 1 || renewed[0] != ls[0].ID {
+		t.Errorf("renewed = %v", renewed)
+	}
+	if len(lost) != 1 || lost[0] != "bogus#1" {
+		t.Errorf("lost = %v", lost)
+	}
+	// A different worker cannot renew someone else's lease.
+	if r, _ := tab.renew("thief", []string{ls[0].ID}, time.Second, now); len(r) != 0 {
+		t.Error("foreign worker renewed a lease it does not hold")
+	}
+}

@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+)
+
+// Lease state machine (one table per sweep, all transitions under the
+// table's owner — the coordinator — holding its sweep lock):
+//
+//	pending --lease--> leased --complete--> done
+//	   ^                  |  \--quarantine--> quarantined
+//	   |                  |
+//	   +----expire--------+        (missed renewals; count++)
+//	   |
+//	   +--poison(count > MaxLeases)--> quarantined
+//
+// A completion is accepted from any worker while the cell is not done —
+// even after its lease expired — because payloads are deterministic:
+// two workers racing the same cell produce identical bytes and the
+// first merge wins. A completion also supersedes a quarantine (the
+// journal-replay rule), covering a cell that poisoned on lease churn
+// but was still finished by a slow worker.
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+	cellQuarantined
+)
+
+// cellEntry is one cell's lease state.
+type cellEntry struct {
+	key     string
+	state   cellState
+	worker  string    // holder while leased; finisher when done/quarantined
+	leaseID string    // current lease while leased
+	expiry  time.Time // lease deadline while leased
+	leases  int       // times handed out (expiries re-lease and re-count)
+}
+
+// leaseTable tracks one sweep's cells. It is not self-locking: the
+// owning sweep serialises access under its own mutex, which also covers
+// the report the transitions feed.
+type leaseTable struct {
+	order     []string
+	cells     map[string]*cellEntry
+	byLease   map[string]*cellEntry // live lease id -> cell
+	remaining int                   // cells not yet done/quarantined
+	seq       uint64
+}
+
+func newLeaseTable(keys []string) *leaseTable {
+	t := &leaseTable{
+		cells:     make(map[string]*cellEntry, len(keys)),
+		byLease:   make(map[string]*cellEntry, len(keys)),
+		order:     keys,
+		remaining: len(keys),
+	}
+	for _, k := range keys {
+		t.cells[k] = &cellEntry{key: k, state: cellPending}
+	}
+	return t
+}
+
+// lease hands up to max pending cells to worker. To keep a worker's
+// batch cache-friendly, the scan stops at a scheme boundary once at
+// least one cell is granted: grids are laid out scheme-major, so a
+// batch of cells sharing a scheme builds that scheme once.
+func (t *leaseTable) lease(worker string, max int, ttl time.Duration, now time.Time) []Lease {
+	var out []Lease
+	var batchScheme string
+	for _, k := range t.order {
+		if len(out) >= max {
+			break
+		}
+		c := t.cells[k]
+		if c.state != cellPending {
+			continue
+		}
+		if scheme := schemeOf(k); len(out) == 0 {
+			batchScheme = scheme
+		} else if scheme != batchScheme {
+			break
+		}
+		t.seq++
+		c.state = cellLeased
+		c.worker = worker
+		c.leaseID = fmt.Sprintf("%s#%d", worker, t.seq)
+		c.expiry = now.Add(ttl)
+		c.leases++
+		t.byLease[c.leaseID] = c
+		out = append(out, Lease{ID: c.leaseID, Key: k, TTLMs: ttl.Milliseconds()})
+	}
+	return out
+}
+
+// schemeOf returns the scheme prefix of a cell key.
+func schemeOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// renew extends the named leases for worker; ids not held by worker (or
+// no longer live) come back in lost.
+func (t *leaseTable) renew(worker string, ids []string, ttl time.Duration, now time.Time) (renewed, lost []string) {
+	for _, id := range ids {
+		c, ok := t.byLease[id]
+		if !ok || c.state != cellLeased || c.worker != worker || c.leaseID != id {
+			lost = append(lost, id)
+			continue
+		}
+		c.expiry = now.Add(ttl)
+		renewed = append(renewed, id)
+	}
+	return renewed, lost
+}
+
+// expire reclaims leases past their deadline: the cell returns to
+// pending (to be re-leased) unless it has cycled through more than
+// maxLeases grants, in which case it is reported as poisoned — the
+// caller quarantines it so one unrunnable cell cannot starve the sweep
+// forever. Returned slices list the affected cell keys.
+func (t *leaseTable) expire(now time.Time, maxLeases int) (released, poisoned []string) {
+	for _, k := range t.order {
+		c := t.cells[k]
+		if c.state != cellLeased || now.Before(c.expiry) {
+			continue
+		}
+		delete(t.byLease, c.leaseID)
+		c.leaseID = ""
+		c.worker = ""
+		if c.leases >= maxLeases {
+			poisoned = append(poisoned, k)
+			// State moves to quarantined by the caller via finish(), so
+			// the journal/report/progress paths stay uniform; park the
+			// cell out of the pending pool meanwhile.
+			c.state = cellPending
+			continue
+		}
+		c.state = cellPending
+		released = append(released, k)
+	}
+	return released, poisoned
+}
+
+// finish moves a cell to done (quarantined=false) or quarantined
+// (true), crediting worker. It reports whether the transition happened:
+// false means the cell is unknown or the result is a duplicate
+// (already done, or a quarantine for a cell that already completed —
+// completions supersede quarantines, never the reverse).
+func (t *leaseTable) finish(key, worker string, quarantined bool) bool {
+	c, ok := t.cells[key]
+	if !ok || c.state == cellDone {
+		return false
+	}
+	if c.state == cellQuarantined && quarantined {
+		return false
+	}
+	if c.state == cellLeased {
+		delete(t.byLease, c.leaseID)
+		c.leaseID = ""
+	}
+	// A quarantined cell already left the remaining pool; a completion
+	// superseding it only flips the terminal state.
+	if c.state != cellQuarantined {
+		t.remaining--
+	}
+	if quarantined {
+		c.state = cellQuarantined
+	} else {
+		c.state = cellDone
+	}
+	c.worker = worker
+	return true
+}
+
+// nextExpiry returns the earliest live-lease deadline (zero time when
+// nothing is leased); the janitor uses it to pace expiry sweeps.
+func (t *leaseTable) nextExpiry() time.Time {
+	var min time.Time
+	for _, c := range t.byLease {
+		if c.state == cellLeased && (min.IsZero() || c.expiry.Before(min)) {
+			min = c.expiry
+		}
+	}
+	return min
+}

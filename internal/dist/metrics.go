@@ -1,0 +1,24 @@
+package dist
+
+import "reramsim/internal/obs"
+
+// Distributed-sweep observability ("dist.*" series). Coordinator-side
+// counters cover the lease lifecycle and the merge path; worker-side
+// counters cover cells run and records shipped.
+var (
+	obsLeasesGranted = obs.C("dist.leases.granted")     // leases handed to workers
+	obsLeasesRenewed = obs.C("dist.leases.renewed")     // successful heartbeat extensions
+	obsLeasesExpired = obs.C("dist.leases.expired")     // leases reclaimed on missed renewals
+	obsLeasesLost    = obs.C("dist.leases.lost")        // renew attempts on dead leases
+	obsMergedDone    = obs.C("dist.merged.completed")   // worker completions merged
+	obsMergedQuar    = obs.C("dist.merged.quarantined") // worker quarantines merged
+	obsMergeRejected = obs.C("dist.merged.rejected")    // records dropped (dup/unknown)
+	obsPoisoned      = obs.C("dist.cells.poisoned")     // cells quarantined on lease churn
+	obsSweepsActive  = obs.G("dist.sweeps.active")
+	obsWorkersLive   = obs.G("dist.workers.live")
+
+	obsWorkerCells   = obs.C("dist.worker.cells")       // cells executed by this process's workers
+	obsWorkerRetries = obs.C("dist.worker.retries")     // transient local re-attempts
+	obsWorkerAband   = obs.C("dist.worker.abandoned")   // cells dropped on lost leases
+	obsWorkerQuar    = obs.C("dist.worker.quarantined") // failure records shipped
+)

@@ -1,0 +1,520 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reramsim/internal/jobs"
+	"reramsim/internal/par"
+	"reramsim/internal/retry"
+)
+
+// CellFunc executes one leased cell and returns its payload bytes —
+// the exact bytes a local run would journal (experiments.Suite.RunCell
+// behind the cmd glue).
+type CellFunc func(ctx context.Context, key string) ([]byte, error)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Join is the coordinator address ("host:port").
+	Join string
+	// ID names this worker in leases and progress views (default
+	// "w-<pid>").
+	ID string
+	// Max bounds concurrently running cells (default par.Jobs()).
+	Max int
+	// Poll bounds the idle re-poll interval when the coordinator has no
+	// work and sent no hint (default 500ms).
+	Poll time.Duration
+	// NewRunner builds the cell executor for a sweep's grid spec. It is
+	// called once per distinct digest (cached); an error is fatal to the
+	// worker — a worker that cannot rebuild the suite must exit so its
+	// leases expire and re-lease to a capable peer.
+	NewRunner func(GridSpec) (CellFunc, error)
+	// Log receives human-readable worker events (nil discards).
+	Log io.Writer
+	// HTTPClient overrides the protocol client (tests).
+	HTTPClient *http.Client
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.ID == "" {
+		o.ID = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	if o.Max <= 0 {
+		o.Max = par.Jobs()
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// maxJoinFailures is how many consecutive unreachable-coordinator
+// errors a worker tolerates. Before the first successful contact that
+// is a configuration error (exit non-zero); after it, the coordinator
+// finished or died and the worker exits clean — its completed cells are
+// already merged and anything in flight re-leases on expiry.
+const maxJoinFailures = 6
+
+// worker is one running lease loop.
+type worker struct {
+	opts WorkerOptions
+	base string // http://join
+
+	runnersMu sync.Mutex
+	runners   map[string]CellFunc // digest -> executor
+	runnerSeq []string            // insertion order, oldest first
+
+	leasesMu sync.Mutex
+	leases   map[string]context.CancelCauseFunc // live lease id -> cell cancel
+
+	inflight sync.WaitGroup
+	slots    chan struct{}
+	ttlNs    atomic.Int64 // last TTL the coordinator quoted, in nanoseconds
+}
+
+// RunWorker joins a coordinator and executes leased cells until the
+// coordinator reports Done (clean exit), the coordinator disappears
+// after having been reachable (clean exit), or ctx is cancelled
+// (in-flight cells drain, then the cause returns so the CLI maps it to
+// the interrupted exit code). Cells run through opts.NewRunner's
+// executor; completions and quarantines ship back as single-record RSJL
+// segments.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	if opts.Join == "" {
+		return fmt.Errorf("dist: worker needs a coordinator address to join")
+	}
+	if opts.NewRunner == nil {
+		return fmt.Errorf("dist: worker needs a NewRunner")
+	}
+	w := &worker{
+		opts:    opts,
+		base:    "http://" + opts.Join,
+		runners: make(map[string]CellFunc, 2),
+		leases:  make(map[string]context.CancelCauseFunc, opts.Max),
+		slots:   make(chan struct{}, opts.Max),
+	}
+	w.ttlNs.Store(int64(10 * time.Second))
+	w.logf("worker %s joining %s (max %d cells)", opts.ID, opts.Join, opts.Max)
+
+	renewCtx, stopRenew := context.WithCancel(context.WithoutCancel(ctx))
+	renewDone := make(chan struct{})
+	go w.renewLoop(renewCtx, renewDone)
+	defer func() {
+		w.inflight.Wait() // drain in-flight cells before dropping renewals
+		stopRenew()
+		<-renewDone
+	}()
+
+	failures := 0
+	everConnected := false
+	for {
+		if ctx.Err() != nil {
+			w.logf("worker %s: interrupted; draining in-flight cells", opts.ID)
+			return context.Cause(ctx)
+		}
+		// Ask only for what we can start right now.
+		free := cap(w.slots) - len(w.slots)
+		if free == 0 {
+			// All slots busy: wait for one to come back.
+			select {
+			case <-ctx.Done():
+				continue
+			case w.slots <- struct{}{}:
+				<-w.slots
+			}
+			continue
+		}
+		resp, err := w.lease(ctx, free)
+		if err != nil {
+			failures++
+			if failures >= maxJoinFailures {
+				if everConnected {
+					w.logf("worker %s: coordinator gone (%v); exiting clean", opts.ID, err)
+					return nil
+				}
+				return fmt.Errorf("dist: worker could not reach coordinator %s: %w", opts.Join, err)
+			}
+			retry.Sleep(ctx, retry.Policy{}.Delay(opts.ID+"/lease", failures-1))
+			continue
+		}
+		failures = 0
+		everConnected = true
+		if resp.Done {
+			w.logf("worker %s: coordinator done; exiting", opts.ID)
+			return nil
+		}
+		if len(resp.Leases) == 0 {
+			wait := w.opts.Poll
+			if resp.WaitMs > 0 {
+				wait = time.Duration(resp.WaitMs) * time.Millisecond
+			}
+			retry.Sleep(ctx, wait)
+			continue
+		}
+		for _, l := range resp.Leases {
+			if l.TTLMs > 0 {
+				w.ttlNs.Store(int64(time.Duration(l.TTLMs) * time.Millisecond))
+			}
+			runner, rerr := w.runner(ctx, l.Digest)
+			if rerr != nil {
+				return rerr
+			}
+			w.slots <- struct{}{}
+			w.inflight.Add(1)
+			go w.runCell(ctx, l, runner)
+		}
+	}
+}
+
+// runner returns the cached executor for digest, fetching the grid spec
+// and building one on first sight. The cache keeps the two most recent
+// digests: enough for a daemon alternating between two sweeps without
+// rebuilding suites, small enough that stale sweeps release their
+// schemes.
+func (w *worker) runner(ctx context.Context, digest string) (CellFunc, error) {
+	w.runnersMu.Lock()
+	r, ok := w.runners[digest]
+	w.runnersMu.Unlock()
+	if ok {
+		return r, nil
+	}
+	spec, err := w.fetchGrid(ctx, digest)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker fetching grid %s: %w", shortDigest(digest), err)
+	}
+	r, err = w.opts.NewRunner(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker building runner for %s: %w", shortDigest(digest), err)
+	}
+	w.runnersMu.Lock()
+	if cached, ok := w.runners[digest]; ok {
+		r = cached // lost a build race; keep the first
+	} else {
+		w.runners[digest] = r
+		w.runnerSeq = append(w.runnerSeq, digest)
+		for len(w.runnerSeq) > 2 {
+			delete(w.runners, w.runnerSeq[0])
+			w.runnerSeq = w.runnerSeq[1:]
+		}
+	}
+	w.runnersMu.Unlock()
+	w.logf("worker %s: runner ready for grid %s", w.opts.ID, shortDigest(digest))
+	return r, nil
+}
+
+// runCell executes one leased cell and ships its record. The cell's
+// context detaches from the worker root — a SIGTERM drains in-flight
+// cells rather than aborting them — but is cancelled individually if
+// the lease is lost to another worker.
+func (w *worker) runCell(root context.Context, l Lease, runner CellFunc) {
+	defer w.inflight.Done()
+	defer func() { <-w.slots }()
+	ctx, cancel := context.WithCancelCause(context.WithoutCancel(root))
+	w.leasesMu.Lock()
+	w.leases[l.ID] = cancel
+	w.leasesMu.Unlock()
+	defer func() {
+		w.leasesMu.Lock()
+		delete(w.leases, l.ID)
+		w.leasesMu.Unlock()
+		cancel(nil)
+	}()
+
+	rec, ok := w.execute(ctx, l, runner)
+	if !ok {
+		return // lease lost mid-run: result abandoned, no record to ship
+	}
+	w.ship(ctx, l, rec)
+}
+
+// execute runs the cell with local transient retries, converting
+// panics and persistent errors into quarantine records. ok=false means
+// the cell was abandoned (lease lost / cancelled) and nothing ships.
+func (w *worker) execute(ctx context.Context, l Lease, runner CellFunc) (rec jobs.Record, ok bool) {
+	const cellAttempts = 3
+	var payload []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		payload, err = w.runOnce(ctx, l.Key, runner)
+		if err == nil {
+			obsWorkerCells.Inc()
+			return jobs.Record{Kind: jobs.RecordCompleted, Key: l.Key, Data: payload}, true
+		}
+		if ctx.Err() != nil {
+			obsWorkerAband.Inc()
+			w.logf("worker %s: abandoning %s (%v)", w.opts.ID, l.Key, context.Cause(ctx))
+			return jobs.Record{}, false
+		}
+		if !jobs.IsTransient(err) || attempt >= cellAttempts-1 {
+			break
+		}
+		obsWorkerRetries.Inc()
+		w.logf("worker %s: transient failure on %s (attempt %d): %v", w.opts.ID, l.Key, attempt+1, err)
+		retry.Sleep(ctx, retry.Policy{}.Delay(l.Key, attempt))
+	}
+	obsWorkerQuar.Inc()
+	reason, stack := "error", ""
+	if p, isPanic := err.(*panicError); isPanic {
+		reason, stack = "panic", p.stack
+	}
+	w.logf("worker %s: quarantining %s (%s): %v", w.opts.ID, l.Key, reason, err)
+	return jobs.Record{
+		Kind: jobs.RecordQuarantined,
+		Key:  l.Key,
+		Data: jobs.QuarantinePayload(reason, err.Error(), stack),
+	}, true
+}
+
+// panicError carries a recovered cell panic to the quarantine path.
+type panicError struct {
+	value any
+	stack string
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("cell panic: %v", p.value) }
+
+// runOnce is one guarded invocation of the runner.
+func (w *worker) runOnce(ctx context.Context, key string, runner CellFunc) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: r, stack: string(debug.Stack())}
+		}
+	}()
+	return runner(ctx, key)
+}
+
+// ship posts the record as a single-record segment. Upload failures
+// retry with backoff; a record that cannot be delivered is dropped —
+// the lease expires and the cell re-leases, so the sweep still
+// converges (payloads are deterministic, the retry only costs time).
+func (w *worker) ship(ctx context.Context, l Lease, rec jobs.Record) {
+	req := CompleteRequest{
+		Worker:  w.opts.ID,
+		Digest:  l.Digest,
+		Leases:  map[string]string{l.Key: l.ID},
+		Segment: jobs.EncodeSegment([]jobs.Record{rec}),
+	}
+	err := retry.Policy{}.Do(ctx, l.Key+"/complete", 5, func() error {
+		resp, err := postJSON(w, ctx, "/dist/v1/complete", req, DecodeCompleteResponse)
+		if err != nil {
+			return err
+		}
+		for _, k := range resp.Rejected {
+			w.logf("worker %s: %s rejected by coordinator (finished elsewhere)", w.opts.ID, k)
+		}
+		return nil
+	})
+	if err != nil {
+		obsWorkerAband.Inc()
+		w.logf("worker %s: could not deliver %s: %v (cell will re-lease)", w.opts.ID, l.Key, err)
+	}
+}
+
+// renewLoop heartbeats outstanding leases at TTL/3. A lease the
+// coordinator reports lost cancels its cell: another worker owns it
+// now, and finishing it here would only produce a rejected duplicate.
+func (w *worker) renewLoop(ctx context.Context, done chan<- struct{}) {
+	defer close(done)
+	for {
+		interval := time.Duration(w.ttlNs.Load()) / 3
+		if interval < 20*time.Millisecond {
+			interval = 20 * time.Millisecond
+		}
+		t := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		w.leasesMu.Lock()
+		ids := make([]string, 0, len(w.leases))
+		for id := range w.leases {
+			ids = append(ids, id)
+		}
+		w.leasesMu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		resp, err := postJSON(w, ctx, "/dist/v1/renew", RenewRequest{Worker: w.opts.ID, IDs: ids}, DecodeRenewResponse)
+		if err != nil {
+			w.logf("worker %s: renew failed: %v", w.opts.ID, err)
+			continue // keep running; the next beat may succeed before expiry
+		}
+		if resp.TTLMs > 0 {
+			w.ttlNs.Store(int64(time.Duration(resp.TTLMs) * time.Millisecond))
+		}
+		for _, id := range resp.Lost {
+			w.leasesMu.Lock()
+			cancel := w.leases[id]
+			w.leasesMu.Unlock()
+			if cancel != nil {
+				w.logf("worker %s: lease %s lost; cancelling cell", w.opts.ID, id)
+				cancel(fmt.Errorf("dist: lease %s expired and re-leased elsewhere", id))
+			}
+		}
+	}
+}
+
+// lease asks the coordinator for up to max cells.
+func (w *worker) lease(ctx context.Context, max int) (LeaseResponse, error) {
+	return postJSON(w, ctx, "/dist/v1/lease", LeaseRequest{Worker: w.opts.ID, Max: max}, DecodeLeaseResponse)
+}
+
+// fetchGrid downloads and strictly decodes a sweep's grid spec.
+func (w *worker) fetchGrid(ctx context.Context, digest string) (GridSpec, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/dist/v1/grid?digest="+digest, nil)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	resp, err := w.opts.HTTPClient.Do(req)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return GridSpec{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return GridSpec{}, fmt.Errorf("grid fetch status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	spec, err := DecodeGridSpec(body)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	if spec.Digest != digest {
+		return GridSpec{}, fmt.Errorf("coordinator served grid %s for requested %s", spec.Digest, digest)
+	}
+	return spec, nil
+}
+
+// postJSON sends one JSON request and strictly decodes the response.
+// (A free function because Go methods cannot be generic.)
+func postJSON[Req any, Resp any](w *worker, ctx context.Context, path string, req Req, decode func([]byte) (Resp, error)) (Resp, error) {
+	var zero Resp
+	body, err := json.Marshal(req)
+	if err != nil {
+		return zero, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return zero, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.HTTPClient.Do(hr)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	rbody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return zero, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return zero, fmt.Errorf("%s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(rbody))
+	}
+	return decode(rbody)
+}
+
+// logf writes a worker event to the configured log.
+func (w *worker) logf(format string, args ...any) {
+	if w.opts.Log != nil {
+		fmt.Fprintf(w.opts.Log, "dist: "+format+"\n", args...)
+	}
+}
+
+// AgentOptions configures RunAgent.
+type AgentOptions struct {
+	// Addr is the agent's HTTP listen address.
+	Addr string
+	// Worker templates the lease loop started on attach (Join is filled
+	// from the attach request).
+	Worker WorkerOptions
+}
+
+// RunAgent runs a standing worker agent: a small HTTP server that waits
+// for a coordinator to announce itself (POST /worker/v1/attach) and
+// then runs the worker loop against it, replacing the loop if a new
+// coordinator attaches. This is the daemon-fleet shape: start N agents
+// once, point any number of reramd boots at them with -workers. Returns
+// when ctx is cancelled.
+func RunAgent(ctx context.Context, opts AgentOptions) error {
+	if opts.Addr == "" {
+		return fmt.Errorf("dist: agent needs a listen address")
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: agent listen: %w", err)
+	}
+	logf := func(format string, args ...any) {
+		if opts.Worker.Log != nil {
+			fmt.Fprintf(opts.Worker.Log, "dist: "+format+"\n", args...)
+		}
+	}
+	logf("agent listening on %s", ln.Addr())
+
+	var mu sync.Mutex
+	var stopCurrent context.CancelFunc
+	var loops sync.WaitGroup
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /worker/v1/attach", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body")
+			return
+		}
+		req, err := DecodeAttachRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		mu.Lock()
+		if stopCurrent != nil {
+			stopCurrent() // a newer coordinator supersedes the old loop
+		}
+		loopCtx, cancel := context.WithCancel(ctx)
+		stopCurrent = cancel
+		mu.Unlock()
+		wopts := opts.Worker
+		wopts.Join = req.Coordinator
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			logf("agent: attached to coordinator %s", req.Coordinator)
+			if err := RunWorker(loopCtx, wopts); err != nil && loopCtx.Err() == nil {
+				logf("agent: worker loop ended: %v", err)
+			}
+		}()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
+	loops.Wait()
+	return context.Cause(ctx)
+}

@@ -83,13 +83,10 @@ func (s *Suite) runGrid(ctx context.Context, eng *jobs.Engine, pairs []SimPair) 
 		seen[key] = true
 		cells = append(cells, jobs.Cell{
 			Key: key,
-			Run: func(ctx context.Context) ([]byte, error) {
-				r, err := s.SimContext(ctx, p.Scheme, p.Workload)
-				if err != nil {
-					return nil, err
-				}
-				return json.Marshal(r)
-			},
+			// RunCell is the one producer of cell payload bytes — shared
+			// with distributed workers, so records from either source are
+			// byte-identical.
+			Run: func(ctx context.Context) ([]byte, error) { return s.RunCell(ctx, key) },
 		})
 	}
 	rep, err := eng.Run(ctx, cells)

@@ -20,6 +20,7 @@ type CellState string
 
 const (
 	CellPending     CellState = "pending"
+	CellLeased      CellState = "leased" // handed to a distributed worker
 	CellRunning     CellState = "running"
 	CellCompleted   CellState = "completed"
 	CellResumed     CellState = "resumed" // completed via the on-disk journal
@@ -32,6 +33,9 @@ type CellProgress struct {
 	State    CellState `json:"state"`
 	Attempts int       `json:"attempts,omitempty"`
 	Stalled  bool      `json:"stalled,omitempty"`
+	// Worker names the distributed worker holding (or having finished)
+	// the cell; empty for cells executed in-process.
+	Worker string `json:"worker,omitempty"`
 	// BeatAgeSec is the age of the cell's last watchdog heartbeat;
 	// only meaningful while running.
 	BeatAgeSec float64 `json:"beatAgeSec,omitempty"`
@@ -41,10 +45,19 @@ type CellProgress struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// WorkerProgress aggregates one distributed worker's cells.
+type WorkerProgress struct {
+	Worker      string `json:"worker"`
+	Leased      int    `json:"leased"`
+	Completed   int    `json:"completed"`
+	Quarantined int    `json:"quarantined"`
+}
+
 // Progress is a point-in-time view of the engine's grid execution.
 type Progress struct {
 	Total       int `json:"total"`
 	Pending     int `json:"pending"`
+	Leased      int `json:"leased"` // held by distributed workers
 	Running     int `json:"running"`
 	Completed   int `json:"completed"` // includes resumed cells
 	Resumed     int `json:"resumed"`
@@ -64,6 +77,9 @@ type Progress struct {
 	// use it to detect movement without diffing cells.
 	Epoch uint64         `json:"epoch"`
 	Cells []CellProgress `json:"cells"`
+	// Workers summarises per-worker cell states when the grid runs
+	// distributed (sorted by worker name; absent for local runs).
+	Workers []WorkerProgress `json:"workers,omitempty"`
 }
 
 // cellProg is the tracker's per-cell record.
@@ -75,6 +91,7 @@ type cellProg struct {
 	started  time.Time
 	took     time.Duration
 	reason   string
+	worker   string // distributed attribution; empty for local cells
 }
 
 // progressTracker accumulates cell states across an engine's Run calls
@@ -159,6 +176,68 @@ func (p *progressTracker) markQuarantined(key, reason string) {
 	p.mu.Unlock()
 }
 
+// markLeased moves a pending cell to leased under the named worker.
+// Each lease counts as an attempt (an expired lease followed by a
+// re-lease shows up as attempts=2, exactly like a local retry).
+func (p *progressTracker) markLeased(key, worker string) {
+	p.mu.Lock()
+	c := p.cellLocked(key)
+	if c.state == CellPending || c.state == CellLeased {
+		c.state = CellLeased
+		c.worker = worker
+		c.attempts++
+		if c.attempts == 1 {
+			c.started = time.Now()
+		}
+	}
+	p.epoch++
+	p.mu.Unlock()
+}
+
+// markReleased returns an expired lease's cell to pending.
+func (p *progressTracker) markReleased(key string) {
+	p.mu.Lock()
+	if c, ok := p.cells[key]; ok && c.state == CellLeased {
+		c.state = CellPending
+		c.worker = ""
+		p.epoch++
+	}
+	p.mu.Unlock()
+}
+
+// markDoneBy is markDone with distributed-worker attribution.
+func (p *progressTracker) markDoneBy(key, worker string) {
+	p.mu.Lock()
+	c := p.cellLocked(key)
+	c.state = CellCompleted
+	c.bs = nil
+	c.worker = worker
+	if !c.started.IsZero() {
+		c.took = time.Since(c.started)
+		p.durations = append(p.durations, c.took)
+		if len(p.durations) > trailingWindow {
+			p.durations = p.durations[len(p.durations)-trailingWindow:]
+		}
+	}
+	p.epoch++
+	p.mu.Unlock()
+}
+
+// markQuarantinedBy is markQuarantined with worker attribution.
+func (p *progressTracker) markQuarantinedBy(key, reason, worker string) {
+	p.mu.Lock()
+	c := p.cellLocked(key)
+	c.state = CellQuarantined
+	c.bs = nil
+	c.reason = reason
+	c.worker = worker
+	if !c.started.IsZero() {
+		c.took = time.Since(c.started)
+	}
+	p.epoch++
+	p.mu.Unlock()
+}
+
 func (p *progressTracker) markStalled(key string) {
 	p.mu.Lock()
 	if c, ok := p.cells[key]; ok {
@@ -186,6 +265,18 @@ func (p *progressTracker) snapshot(now time.Time) Progress {
 		Epoch:   p.epoch,
 		Cells:   make([]CellProgress, 0, len(p.order)),
 	}
+	var workers map[string]*WorkerProgress
+	workerStat := func(name string) *WorkerProgress {
+		if workers == nil {
+			workers = make(map[string]*WorkerProgress)
+		}
+		w, ok := workers[name]
+		if !ok {
+			w = &WorkerProgress{Worker: name}
+			workers[name] = w
+		}
+		return w
+	}
 	for _, key := range p.order {
 		c := p.cells[key]
 		cp := CellProgress{
@@ -194,10 +285,16 @@ func (p *progressTracker) snapshot(now time.Time) Progress {
 			Attempts: c.attempts,
 			Stalled:  c.stalled,
 			Reason:   c.reason,
+			Worker:   c.worker,
 		}
 		switch c.state {
 		case CellPending:
 			out.Pending++
+		case CellLeased:
+			out.Leased++
+			if c.worker != "" {
+				workerStat(c.worker).Leased++
+			}
 		case CellRunning:
 			out.Running++
 			if c.bs != nil {
@@ -212,11 +309,24 @@ func (p *progressTracker) snapshot(now time.Time) Progress {
 				out.Resumed++
 			}
 			cp.TookSec = c.took.Seconds()
+			if c.worker != "" {
+				workerStat(c.worker).Completed++
+			}
 		case CellQuarantined:
 			out.Quarantined++
 			cp.TookSec = c.took.Seconds()
+			if c.worker != "" {
+				workerStat(c.worker).Quarantined++
+			}
 		}
 		out.Cells = append(out.Cells, cp)
+	}
+	if len(workers) > 0 {
+		out.Workers = make([]WorkerProgress, 0, len(workers))
+		for _, w := range workers {
+			out.Workers = append(out.Workers, *w)
+		}
+		sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].Worker < out.Workers[j].Worker })
 	}
 	finished := out.Completed + out.Quarantined
 	if out.Total > 0 {
@@ -228,7 +338,9 @@ func (p *progressTracker) snapshot(now time.Time) Progress {
 		med := sorted[n/2]
 		out.MedianCellSec = med.Seconds()
 		if remaining := out.Total - finished; remaining > 0 {
-			conc := out.Running
+			// Leased cells are running somewhere — on a worker — so they
+			// count toward the observed parallelism.
+			conc := out.Running + out.Leased
 			if conc < 1 {
 				conc = par.Jobs()
 			}

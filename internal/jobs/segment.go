@@ -1,0 +1,199 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Exported journal-record surface for distributed execution
+// (internal/dist): a worker process encodes the cells it finished as the
+// exact RSJL segment blob the local engine journals, ships it over the
+// wire, and the coordinator merges the records into its own journal with
+// ImportRecords. Because both sides speak the on-disk format, a sweep's
+// history can mix local and distributed runs freely and -resume replays
+// either indistinguishably.
+
+// RecordKind tags one journal record.
+type RecordKind byte
+
+const (
+	// RecordCompleted carries a finished cell's result payload.
+	RecordCompleted = RecordKind(recCompleted)
+	// RecordQuarantined carries a JSON failure report (QuarantineInfo).
+	RecordQuarantined = RecordKind(recQuarantined)
+)
+
+// Record is one journal entry in its wire form.
+type Record struct {
+	Kind RecordKind
+	Key  string
+	Data []byte
+}
+
+// EncodeSegment wraps records in the checksummed RSJL container — the
+// byte-identical format journal segments use on disk, so a blob returned
+// by a worker can be decoded, verified and merged by the coordinator
+// with the same code path that replays a journal.
+func EncodeSegment(recs []Record) []byte {
+	internal := make([]record, len(recs))
+	for i, r := range recs {
+		internal[i] = record{kind: byte(r.Kind), key: r.Key, data: r.Data}
+	}
+	return encodeSegment(internal)
+}
+
+// DecodeSegment validates an RSJL container and parses its records. A
+// damaged container yields no records and an error; a container intact
+// up to a torn tail yields the leading records plus the error.
+func DecodeSegment(blob []byte) ([]Record, error) {
+	internal, err := decodeSegment(blob)
+	recs := make([]Record, len(internal))
+	for i, r := range internal {
+		recs[i] = Record{Kind: RecordKind(r.kind), Key: r.key, Data: r.data}
+	}
+	if err != nil {
+		return recs, err
+	}
+	return recs, nil
+}
+
+// QuarantineInfo is the decoded body of a quarantine record.
+type QuarantineInfo struct {
+	Reason string // "panic" | "timeout" | "error"
+	Error  string
+	Stack  string
+}
+
+// QuarantinePayload encodes a quarantine record body. It never fails:
+// the fields are plain strings.
+func QuarantinePayload(reason, errMsg, stack string) []byte {
+	data, _ := marshalQuarantine(quarantineData{Reason: reason, Error: errMsg, Stack: stack})
+	return data
+}
+
+// ParseQuarantine decodes a quarantine record body.
+func ParseQuarantine(data []byte) (QuarantineInfo, error) {
+	var q quarantineData
+	if err := json.Unmarshal(data, &q); err != nil {
+		return QuarantineInfo{}, fmt.Errorf("jobs: quarantine payload: %w", err)
+	}
+	return QuarantineInfo{Reason: q.Reason, Error: q.Error, Stack: q.Stack}, nil
+}
+
+// Prepare registers the grid's cells with the progress tracker without
+// running anything, and reports what the engine already holds: the
+// payloads of finished cells (journal-resumed or completed by an earlier
+// Run/import) and, of those, the keys served from disk. A distributed
+// coordinator calls it before leasing so resumed cells are never handed
+// to a worker and the final report matches a local run's resume
+// semantics.
+func (e *Engine) Prepare(keys []string) (done map[string][]byte, resumed []string) {
+	done = make(map[string][]byte, len(keys))
+	states := make(map[string]CellState, len(keys))
+	e.mu.Lock()
+	for _, k := range keys {
+		payload, ok := e.done[k]
+		if !ok {
+			states[k] = CellPending
+			continue
+		}
+		done[k] = payload
+		if e.fromDisk[k] {
+			resumed = append(resumed, k)
+			obsResumed.Inc()
+			states[k] = CellResumed
+		} else {
+			states[k] = CellCompleted
+		}
+	}
+	e.mu.Unlock()
+	for _, k := range keys {
+		e.prog.observe(k, states[k])
+	}
+	sort.Strings(resumed)
+	return done, resumed
+}
+
+// MarkLeased records that a coordinator handed the cell to the named
+// worker (progress state "leased"; the /progress endpoint shows the
+// attribution). It never touches execution state.
+func (e *Engine) MarkLeased(key, worker string) { e.prog.markLeased(key, worker) }
+
+// MarkReleased returns a leased cell to pending — the coordinator calls
+// it when a lease expires without a result (worker killed or
+// partitioned) before re-leasing the cell.
+func (e *Engine) MarkReleased(key string) { e.prog.markReleased(key) }
+
+// ImportRecords merges worker-returned journal records into the engine:
+// each fresh record is appended to the journal (when one is attached)
+// and folded into the engine's completed-cell state and progress view,
+// attributed to the named worker. Records for already-completed cells
+// are dropped as duplicates — first result wins, which is safe because
+// cell payloads are deterministic — and a completion supersedes an
+// earlier quarantine of the same cell, mirroring journal replay.
+//
+// It returns the keys newly completed and the failures newly
+// quarantined, in record order. A journal append failure stops the
+// import at that record; everything merged before it stays merged.
+func (e *Engine) ImportRecords(worker string, recs []Record) (completed []string, quarantined []CellFailure, err error) {
+	for _, r := range recs {
+		switch r.Kind {
+		case RecordCompleted:
+			e.mu.Lock()
+			_, dup := e.done[r.Key]
+			e.mu.Unlock()
+			if dup {
+				obsImportDups.Inc()
+				continue
+			}
+			if jerr := e.j.append(record{kind: recCompleted, key: r.Key, data: r.Data}); jerr != nil {
+				return completed, quarantined, jerr
+			}
+			e.mu.Lock()
+			e.done[r.Key] = r.Data
+			delete(e.fromDisk, r.Key)
+			e.mu.Unlock()
+			obsImported.Inc()
+			e.prog.markDoneBy(r.Key, worker)
+			completed = append(completed, r.Key)
+		case RecordQuarantined:
+			e.mu.Lock()
+			_, dup := e.done[r.Key]
+			e.mu.Unlock()
+			if dup {
+				obsImportDups.Inc()
+				continue
+			}
+			q, perr := ParseQuarantine(r.Data)
+			if perr != nil {
+				obsImportBad.Inc()
+				continue
+			}
+			// Advisory like the local quarantine path: a failed append
+			// only means the cell re-runs on resume.
+			_ = e.j.append(record{kind: recQuarantined, key: r.Key, data: r.Data})
+			obsQuarantined.Inc()
+			e.prog.markQuarantinedBy(r.Key, q.Reason, worker)
+			quarantined = append(quarantined, CellFailure{
+				Key:    r.Key,
+				Reason: q.Reason,
+				Err:    errors.New(q.Error),
+				Stack:  q.Stack,
+			})
+		default:
+			obsImportBad.Inc()
+		}
+	}
+	return completed, quarantined, nil
+}
+
+// Completed returns the payload the engine holds for key, whether it was
+// resumed from disk, run locally, or imported from a worker.
+func (e *Engine) Completed(key string) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.done[key]
+	return p, ok
+}

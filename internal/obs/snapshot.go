@@ -6,7 +6,9 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // BucketCount is one histogram bucket in a snapshot: the inclusive upper
@@ -164,30 +166,57 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// textBufPool recycles scrape buffers: a /metrics exposition is
+// rendered into one pooled []byte and written with a single Write, so
+// steady-state scrapes allocate only the snapshot itself.
+var textBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
 // WriteText renders the snapshot in Prometheus-style text exposition:
 // one "name value" line per counter and gauge, and _bucket/_sum/_count
-// lines per histogram. Dots in metric names become underscores.
+// lines per histogram. Dots in metric names become underscores. The
+// whole exposition is assembled in a pooled buffer and written in one
+// Write call.
 func (s Snapshot) WriteText(w io.Writer) error {
-	var names []string
+	bp := textBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	names := make([]string, 0, max(len(s.Counters), max(len(s.Gauges), len(s.Histograms))))
+
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(n), promName(n), s.Counters[n]); err != nil {
-			return err
-		}
+		pn := promName(n)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " counter\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, s.Counters[n], 10)
+		b = append(b, '\n')
 	}
+
 	names = names[:0]
 	for n := range s.Gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(n), promName(n), s.Gauges[n]); err != nil {
-			return err
-		}
+		pn := promName(n)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " gauge\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, s.Gauges[n], 'g', -1, 64)
+		b = append(b, '\n')
 	}
+
 	names = names[:0]
 	for n := range s.Histograms {
 		names = append(names, n)
@@ -196,27 +225,43 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	for _, n := range names {
 		h := s.Histograms[n]
 		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
-			return err
-		}
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " histogram\n"...)
 		cum := uint64(0)
-		for _, b := range h.Buckets {
-			cum += b.Count
-			le := "+Inf"
-			if !math.IsInf(b.LE, 1) {
-				le = fmt.Sprintf("%g", b.LE)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			b = append(b, pn...)
+			b = append(b, "_bucket{le=\""...)
+			if math.IsInf(bk.LE, 1) {
+				b = append(b, "+Inf"...)
+			} else {
+				b = strconv.AppendFloat(b, bk.LE, 'g', -1, 64)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
-				return err
-			}
+			b = append(b, "\"} "...)
+			b = strconv.AppendUint(b, cum, 10)
+			b = append(b, '\n')
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
-			return err
-		}
+		b = append(b, pn...)
+		b = append(b, "_sum "...)
+		b = strconv.AppendFloat(b, h.Sum, 'g', -1, 64)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_count "...)
+		b = strconv.AppendUint(b, h.Count, 10)
+		b = append(b, '\n')
 	}
-	return nil
+
+	_, err := w.Write(b)
+	*bp = b
+	textBufPool.Put(bp)
+	return err
 }
 
+// promReplacer is built once: per-call construction was the dominant
+// allocation of a /metrics scrape. Replacers are concurrency-safe.
+var promReplacer = strings.NewReplacer(".", "_", "-", "_")
+
 func promName(name string) string {
-	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	return promReplacer.Replace(name)
 }

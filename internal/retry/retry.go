@@ -16,6 +16,7 @@ package retry
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"time"
@@ -70,6 +71,44 @@ func jitterRNG(key string, attempt int) *rand.Rand {
 	binary.LittleEndian.PutUint64(a[:], uint64(attempt))
 	h.Write(a[:])
 	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Do runs f up to attempts times, sleeping the policy's jittered delay
+// between failures. It returns nil on the first success, the last error
+// once attempts are exhausted, and ctx's cause if the context ends
+// mid-backoff (the pending error is wrapped alongside). Distributed
+// workers use it for lease-renewal and record-upload posts, where the
+// deterministic per-key jitter keeps a fleet of workers hammering a
+// restarted coordinator from re-synchronising.
+func (p Policy) Do(ctx context.Context, key string, attempts int, f func() error) error {
+	var last error
+	for n := 0; n < attempts; n++ {
+		if err := ctx.Err(); err != nil {
+			return joinCtx(ctx, last)
+		}
+		if last = f(); last == nil {
+			return nil
+		}
+		if n < attempts-1 {
+			Sleep(ctx, p.Delay(key, n))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return joinCtx(ctx, last)
+	}
+	return last
+}
+
+// joinCtx pairs a cancellation cause with the last attempt error.
+func joinCtx(ctx context.Context, last error) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	if last == nil {
+		return cause
+	}
+	return fmt.Errorf("%w (last attempt: %w)", cause, last)
 }
 
 // Sleep blocks for d or until ctx is cancelled, whichever comes first.

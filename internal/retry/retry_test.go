@@ -2,6 +2,7 @@ package retry
 
 import (
 	"context"
+	"errors"
 	"hash/fnv"
 	"math/rand"
 	"testing"
@@ -135,4 +136,52 @@ func TestSleepCancelled(t *testing.T) {
 func TestSleepNonPositive(t *testing.T) {
 	Sleep(context.Background(), 0)
 	Sleep(context.Background(), -time.Second)
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), "k", 5, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("f called %d times, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	last := errors.New("still broken")
+	err := p.Do(context.Background(), "k", 4, func() error { calls++; return last })
+	if !errors.Is(err, last) {
+		t.Fatalf("Do = %v, want the last attempt error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("f called %d times, want 4", calls)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	fail := errors.New("nope")
+	err := Policy{Initial: time.Hour, Max: time.Hour}.Do(ctx, "k", 10, func() error {
+		calls++
+		cancel() // cancel during the first backoff
+		return fail
+	})
+	if calls != 1 {
+		t.Fatalf("f called %d times after cancel, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, fail) {
+		t.Fatalf("Do = %v, want the cancellation wrapping the pending error", err)
+	}
 }

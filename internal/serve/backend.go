@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"reramsim/internal/core"
+	"reramsim/internal/dist"
 	"reramsim/internal/experiments"
 	"reramsim/internal/jobs"
 )
@@ -51,6 +52,11 @@ type SuiteBackend struct {
 	// DefaultSolver handles requests that leave the solver field empty
 	// (the -solver flag of reramd). The zero value is the exact solver.
 	DefaultSolver core.SolverMode
+	// Dist, when set, fans sweeps out to the coordinator's worker fleet
+	// whenever live workers are joined; with none the sweep runs
+	// in-process. Either way the journal, progress view and report are
+	// identical — admission, deadlines and drain behave the same.
+	Dist *dist.Coordinator
 }
 
 func (b *SuiteBackend) Validate(scheme, workload, solver string) error {
@@ -135,6 +141,19 @@ func (b *SuiteBackend) Sweep(ctx context.Context, digest string, pairs []experim
 	}
 	if onProgress != nil {
 		onProgress(eng.Progress)
+	}
+	if b.Dist != nil && b.Dist.LiveWorkers() > 0 {
+		spec := dist.GridSpec{
+			Array:  suite.Cfg,
+			Mem:    suite.MemCfg,
+			Solver: suite.Solver().String(),
+			Digest: digest,
+			Pairs:  make([]dist.Pair, len(pairs)),
+		}
+		for i, p := range pairs {
+			spec.Pairs[i] = dist.Pair{Scheme: p.Scheme, Workload: p.Workload}
+		}
+		return b.Dist.RunSweep(ctx, spec, eng)
 	}
 	return suite.RunGridContext(ctx, eng, pairs)
 }

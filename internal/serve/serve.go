@@ -33,7 +33,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -681,13 +680,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // too so the API port alone is scrapeable.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.CollectRuntime()
-	var buf bytes.Buffer
-	if err := obs.Default().Snapshot().WriteText(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	// WriteText renders into a pooled buffer and issues one Write, so it
+	// streams straight to the response without an intermediate copy.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write(buf.Bytes())
+	_ = obs.Default().Snapshot().WriteText(w)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -25,7 +25,6 @@
 package telemetry
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -179,13 +178,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // stalls simulations (and never touches the obs.Capture lock).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.CollectRuntime() // scrapes always see current runtime.* values
-	var buf bytes.Buffer
-	if err := obs.Default().Snapshot().WriteText(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	// WriteText renders into a pooled buffer and issues one Write, so it
+	// can stream straight to the response: no error can occur before the
+	// single write, and no intermediate copy is needed.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write(buf.Bytes())
+	_ = obs.Default().Snapshot().WriteText(w)
 }
 
 func (s *Server) progress() func() jobs.Progress {
