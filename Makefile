@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve test-dist vuln staticcheck bench bench-guard bench-json
+.PHONY: ci fmt vet build test race race-fault race-par test-resume test-telemetry test-serve test-dist test-chaos vuln staticcheck bench bench-guard bench-json
 
-ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve test-dist bench-guard vuln staticcheck
+ci: fmt vet build test race-fault race-par test-resume test-telemetry test-serve test-dist test-chaos bench-guard vuln staticcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -73,6 +73,20 @@ test-dist:
 	$(GO) test -race ./internal/dist/
 	$(GO) test -run 'TestDist' ./cmd/reramsim/
 
+# The chaos-hardening layer under the race detector: the seeded
+# fault-injection engine, the integrity/audit/health-score coordinator
+# paths (corrupt segments, digest mismatches, divergent workers), the
+# disk-full journal injection, and the in-process fleet e2e (coordinator
+# + 4 workers under a seeded fault plan must be byte-identical to a
+# clean run) — plus the CLI chaos e2e (distributed sweep under -chaos
+# with a segment-corrupting worker, and -audit-fraction=1.0 catching a
+# divergent worker with exit 3). Every fault plan is seeded, so failures
+# reproduce.
+test-chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/atomicio/ ./internal/retry/
+	$(GO) test -race -run 'TestComplete|TestDuplicateCompletion|TestAudit|TestHealth|TestLease|TestWorkerShips|TestMangled' ./internal/dist/
+	$(GO) test -run 'TestChaos' ./cmd/reramsim/
+
 # govulncheck when installed; advisory otherwise so offline CI passes.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -90,24 +104,25 @@ staticcheck:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The allocation guards: steady-state SimulateResetInto and disabled
-# spans must both stay at 0 allocs/op (the benchmarks themselves fail
-# otherwise), run briefly as part of ci.
+# The allocation guards: steady-state SimulateResetInto, disabled spans
+# and the disabled chaos plane must all stay at 0 allocs/op (the
+# benchmarks themselves fail otherwise), run briefly as part of ci.
 bench-guard:
-	$(GO) test -run xxx -bench 'BenchmarkResetOpSteadyState|BenchmarkSpanDisabled' -benchtime 100x -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkResetOpSteadyState|BenchmarkSpanDisabled|BenchmarkChaosDisabled' -benchtime 100x -benchmem .
 
 # Machine-readable micro-benchmark snapshot for the perf trajectory:
 # the PR4 solver/cost baselines (steady-state ResetOp regressions show
 # up against BENCH_PR4.json), the PR6 telemetry overheads (span on/off,
 # /metrics scrape render), the PR7 served-request latency (full HTTP
 # round trip through admission + deadline setup), the PR8 solver modes
-# (per-op vs SoA-batched solves, cold-path pricing), and the PR9 sweep
+# (per-op vs SoA-batched solves, cold-path pricing), the PR9 sweep
 # backends (serial vs parallel-4/8 vs a standing distributed-4 fleet —
-# the fleet must beat the serial cold-start wall clock).
+# the fleet must beat the serial cold-start wall clock), and the PR10
+# chaos plane (the disabled path must stay at 0 allocs/op).
 bench-json:
-	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape|BenchmarkResetBatchSolver' \
+	{ $(GO) test -run xxx -bench 'BenchmarkResetOp1Bit|BenchmarkResetOp4Bit|BenchmarkResetOpSteadyState|BenchmarkCostWriteMemoized|BenchmarkSweepParallel|BenchmarkSpanDisabled|BenchmarkSpanEnabled|BenchmarkMetricsScrape|BenchmarkResetBatchSolver|BenchmarkChaosDisabled' \
 		-benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkServedSolve' -benchtime 500x -benchmem ./internal/serve/ ; \
 	  $(GO) test -run xxx -bench 'BenchmarkSolverModesCold' -benchtime 10x -benchmem ./internal/core/ ; } \
-		| $(GO) run ./cmd/bench2json > BENCH_PR9.json
-	@echo "wrote BENCH_PR9.json"
+		| $(GO) run ./cmd/bench2json > BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"

@@ -15,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"reramsim/internal/atomicio"
+	"reramsim/internal/chaos"
 	"reramsim/internal/dist"
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
@@ -434,6 +436,33 @@ func BenchmarkSpanDisabled(b *testing.B) {
 		_, stop := obs.StartSpan(ctx, "bench.span")
 		obs.SpanScope("bench.scope")()
 		stop()
+	}
+}
+
+// BenchmarkChaosDisabled guards the fault-injection off switch: with no
+// plan installed, the three hooks a production run crosses — the
+// transport wrap in every worker HTTP client, the Active gate, and the
+// atomicio stage-fault check on every journal write — must be a single
+// atomic load each, zero allocations per op. The guard fails the
+// benchmark (and make ci) if the disabled path regresses.
+func BenchmarkChaosDisabled(b *testing.B) {
+	chaos.Uninstall()
+	if chaos.Active() || atomicio.HookEnabled() {
+		b.Fatal("chaos plan or atomicio hook unexpectedly installed")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = chaos.Active()
+		_ = chaos.WrapTransport(nil)
+		_ = atomicio.HookEnabled()
+	}); avg > 0 {
+		b.Fatalf("disabled chaos path allocates %.1f times/op, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chaos.Active()
+		_ = chaos.WrapTransport(nil)
+		_ = atomicio.HookEnabled()
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"reramsim/internal/chaos"
 	"reramsim/internal/core"
 	"reramsim/internal/dist"
 	"reramsim/internal/experiments"
@@ -58,9 +59,11 @@ func run() int {
 		maxDeadline     = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "max time a signal-initiated drain waits for in-flight work before cancelling it")
 
-		distAddr = flag.String("dist-addr", "", "serve the distributed-sweep lease protocol on this address (default localhost:0 when -workers is set)")
-		workers  = flag.String("workers", "", "comma-separated worker agent addresses (reramsim -worker -listen <addr>) to attach at boot; sweeps fan out to joined workers")
-		leaseTTL = flag.Duration("lease-ttl", 10*time.Second, "distributed lease time-to-live; a worker missing renewals this long forfeits its cells for re-lease")
+		distAddr  = flag.String("dist-addr", "", "serve the distributed-sweep lease protocol on this address (default localhost:0 when -workers is set)")
+		workers   = flag.String("workers", "", "comma-separated worker agent addresses (reramsim -worker -listen <addr>) to attach at boot; sweeps fan out to joined workers")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "distributed lease time-to-live; a worker missing renewals this long forfeits its cells for re-lease")
+		auditFrac = flag.Float64("audit-fraction", 0, "fraction of completed distributed cells re-leased to a second worker for digest cross-checks (0 = off, 1 = every cell)")
+		chaosPlan = flag.String("chaos", os.Getenv("RERAM_CHAOS"), "seeded fault-injection plan for chaos testing, e.g. seed=42,latency=20ms,drop=0.1,flip=0.05,enospc=1 (default $RERAM_CHAOS)")
 
 		obsAddr    = flag.String("obs-addr", "", "serve the standalone telemetry plane (/metrics, /progress, /debug/pprof/) on this extra address; the API port always serves /metrics itself")
 		traceSpans = flag.String("trace-spans", "", "write hierarchical spans as a Chrome trace-event file (load in ui.perfetto.dev)")
@@ -73,6 +76,17 @@ func run() int {
 		return fail(err)
 	}
 	*obsAddr = resolved
+	if *auditFrac < 0 || *auditFrac > 1 {
+		return fail(fmt.Errorf("-audit-fraction %g outside [0,1]", *auditFrac))
+	}
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			return fail(fmt.Errorf("-chaos: %w", err))
+		}
+		chaos.Install(plan)
+		fmt.Fprintf(os.Stderr, "reramd: chaos plan installed: %s\n", plan)
+	}
 
 	// The daemon always serves /metrics on its API port, so the metric
 	// plane is always on.
@@ -111,10 +125,11 @@ func run() int {
 	var coord *dist.Coordinator
 	if *workers != "" || *distAddr != "" {
 		coord, err = dist.StartCoordinator(dist.CoordinatorOptions{
-			Addr:       *distAddr,
-			LeaseTTL:   *leaseTTL,
-			Persistent: true,
-			Log:        os.Stderr,
+			Addr:          *distAddr,
+			LeaseTTL:      *leaseTTL,
+			AuditFraction: *auditFrac,
+			Persistent:    true,
+			Log:           os.Stderr,
 		})
 		if err != nil {
 			return fail(err)

@@ -24,9 +24,13 @@ import (
 //
 // RERAMSIM_DIST_HANG_CELL names a cell key that blocks forever instead
 // of simulating — the crash-tolerance tests use it to pin a cell on a
-// worker that is then SIGKILLed.
+// worker that is then SIGKILLed. RERAMSIM_DIST_DIVERGE_CELL names a
+// cell whose payload is subtly altered (a trailing space: still valid
+// JSON, different digest) — the audit e2e uses it to model a worker
+// that computes a wrong-but-well-formed result.
 func distRunnerFactory() func(dist.GridSpec) (dist.CellFunc, error) {
 	hang := os.Getenv("RERAMSIM_DIST_HANG_CELL")
+	diverge := os.Getenv("RERAMSIM_DIST_DIVERGE_CELL")
 	var mu sync.Mutex
 	var prev *experiments.Suite
 	return func(spec dist.GridSpec) (dist.CellFunc, error) {
@@ -54,7 +58,11 @@ func distRunnerFactory() func(dist.GridSpec) (dist.CellFunc, error) {
 				<-ctx.Done()
 				return nil, context.Cause(ctx)
 			}
-			return suite.RunCell(ctx, key)
+			out, err := suite.RunCell(ctx, key)
+			if err == nil && diverge != "" && (diverge == "*" || diverge == key) {
+				out = append(out, ' ')
+			}
+			return out, err
 		}, nil
 	}
 }
@@ -62,12 +70,27 @@ func distRunnerFactory() func(dist.GridSpec) (dist.CellFunc, error) {
 // runWorkerMode runs -worker: either a one-shot lease loop against
 // -join, or a standing agent on -listen waiting for coordinators to
 // attach. Returns the process exit code.
+//
+// RERAMSIM_DIST_CORRUPT_CELL names a cell whose shipped segment gets a
+// byte flipped on the wire ("*" = every cell) — the chaos e2e uses it
+// to model a worker whose results rot in transit; the coordinator must
+// refuse the segment and debit the worker's health score.
 func runWorkerMode(ctx context.Context, join, listen string, maxCells int) int {
 	opts := dist.WorkerOptions{
 		Join:      join,
 		Max:       maxCells,
 		NewRunner: distRunnerFactory(),
 		Log:       os.Stderr,
+	}
+	if corrupt := os.Getenv("RERAMSIM_DIST_CORRUPT_CELL"); corrupt != "" {
+		opts.MangleSegment = func(key string, seg []byte) []byte {
+			if corrupt != "*" && corrupt != key {
+				return seg
+			}
+			out := append([]byte(nil), seg...)
+			out[len(out)/2] ^= 0x01
+			return out
+		}
 	}
 	if opts.Max <= 0 {
 		opts.Max = par.Jobs()
@@ -94,7 +117,7 @@ func runWorkerMode(ctx context.Context, join, listen string, maxCells int) int {
 // workers instead of running them in-process. The engine, journal and
 // report are the same objects a local run uses, so output and resume
 // behaviour are identical.
-func runCoordinated(suite *experiments.Suite, eng *jobs.Engine, pairs []experiments.SimPair, digest, addr string, ttl time.Duration) (*jobs.Report, error) {
+func runCoordinated(suite *experiments.Suite, eng *jobs.Engine, pairs []experiments.SimPair, digest, addr string, ttl time.Duration, auditFraction float64) (*jobs.Report, error) {
 	spec := dist.GridSpec{
 		Array:  suite.Cfg,
 		Mem:    suite.MemCfg,
@@ -106,9 +129,10 @@ func runCoordinated(suite *experiments.Suite, eng *jobs.Engine, pairs []experime
 		spec.Pairs[i] = dist.Pair{Scheme: p.Scheme, Workload: p.Workload}
 	}
 	c, err := dist.StartCoordinator(dist.CoordinatorOptions{
-		Addr:     addr,
-		LeaseTTL: ttl,
-		Log:      os.Stderr,
+		Addr:          addr,
+		LeaseTTL:      ttl,
+		AuditFraction: auditFraction,
+		Log:           os.Stderr,
 	})
 	if err != nil {
 		return nil, err

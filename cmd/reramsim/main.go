@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"reramsim/internal/chaos"
 	"reramsim/internal/core"
 	"reramsim/internal/experiments"
 	"reramsim/internal/fault"
@@ -75,6 +76,8 @@ func main() {
 		solverFlag = flag.String("solver", "exact", "cold RESET-op pricing: exact (reference), batched (bit-identical SoA batch solves) or surrogate (calibrated table, bounded error)")
 
 		coordinator = flag.String("coordinator", "", "run the sweep as a distributed coordinator on this address (e.g. localhost:0), leasing cells to -worker processes; output is identical to a local run")
+		auditFrac   = flag.Float64("audit-fraction", 0, "coordinator: fraction of completed cells re-leased to a second worker for digest cross-checks (0 = off, 1 = every cell); divergence quarantines the cell and flags both workers")
+		chaosPlan   = flag.String("chaos", os.Getenv("RERAM_CHAOS"), "seeded fault-injection plan for chaos testing, e.g. seed=42,latency=20ms,drop=0.1,flip=0.05,enospc=1 (default $RERAM_CHAOS; results must stay byte-identical)")
 		workerMode  = flag.Bool("worker", false, "run as a distributed sweep worker (with -join <addr>, or -listen <addr> for a standing agent)")
 		joinAddr    = flag.String("join", "", "worker: coordinator address to join")
 		listenAddr  = flag.String("listen", "", "worker: run a standing agent on this address; reramd -workers attaches coordinators to it")
@@ -129,6 +132,17 @@ func main() {
 	}
 	if *metricsFmt != "text" && *metricsFmt != "json" {
 		fail(fmt.Errorf("unknown -metrics-format %q (want text or json)", *metricsFmt))
+	}
+	if *auditFrac < 0 || *auditFrac > 1 {
+		fail(fmt.Errorf("-audit-fraction %g outside [0,1]", *auditFrac))
+	}
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
+		chaos.Install(plan)
+		fmt.Fprintf(os.Stderr, "reramsim: chaos plan installed: %s\n", plan)
 	}
 	resolved, err := telemetry.ResolvePprofAlias("reramsim", *obsAddr, *pprofAddr, os.Stderr)
 	if err != nil {
@@ -225,6 +239,7 @@ func main() {
 			stack:         stack,
 			coordinator:   *coordinator,
 			leaseTTL:      *leaseTTL,
+			auditFraction: *auditFrac,
 		})
 		dumpMetrics(*metrics, *metricsFmt)
 		cleanup()
@@ -330,6 +345,7 @@ type sweepOptions struct {
 	stack         *telemetry.Stack
 	coordinator   string // non-empty: lease cells to workers instead of running locally
 	leaseTTL      time.Duration
+	auditFraction float64
 }
 
 // runSweep executes the schemes x workloads grid through the crash-safe
@@ -367,7 +383,7 @@ func runSweep(suite *experiments.Suite, schemes, workloads []string, o sweepOpti
 	var rep *jobs.Report
 	var runErr error
 	if o.coordinator != "" {
-		rep, runErr = runCoordinated(suite, eng, pairs, digest, o.coordinator, o.leaseTTL)
+		rep, runErr = runCoordinated(suite, eng, pairs, digest, o.coordinator, o.leaseTTL, o.auditFraction)
 	} else {
 		rep, runErr = suite.RunGrid(eng, pairs)
 	}

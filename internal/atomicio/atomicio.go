@@ -12,11 +12,13 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
 )
 
 // Stages of the temp-write+rename dance, carried by WriteError so a
@@ -41,12 +43,67 @@ type WriteError struct {
 }
 
 func (e *WriteError) Error() string {
+	if e.DiskFull() {
+		return fmt.Sprintf("atomicio: %s %s: %v (disk full writing %s — free space or move the directory, then retry; no partial file was left behind)",
+			e.Stage, e.Dest, e.Err, filepath.Dir(e.Dest))
+	}
 	return fmt.Sprintf("atomicio: %s %s: %v", e.Stage, e.Dest, e.Err)
 }
 
 // Unwrap exposes the cause to errors.Is/As (e.g. io.ErrShortWrite,
 // syscall.ENOSPC, fs.ErrPermission).
 func (e *WriteError) Unwrap() error { return e.Err }
+
+// DiskFull reports whether the failure is the out-of-space family:
+// ENOSPC, EDQUOT (quota), or a short write — the way a full filesystem
+// most often first announces itself. Callers branch on this to give the
+// operator an actionable "free disk space" message instead of a retry.
+func (e *WriteError) DiskFull() bool {
+	return errors.Is(e.Err, syscall.ENOSPC) ||
+		errors.Is(e.Err, syscall.EDQUOT) ||
+		errors.Is(e.Err, io.ErrShortWrite)
+}
+
+// IsDiskFull reports whether err is (or wraps) a disk-full WriteError.
+func IsDiskFull(err error) bool {
+	var we *WriteError
+	return errors.As(err, &we) && we.DiskFull()
+}
+
+// hook, when set, is consulted before each stage of a write with the
+// destination path and the Stage* about to run; a non-nil return aborts
+// the write as if the OS had failed that stage. It exists for the chaos
+// harness and for tests that need deterministic ENOSPC/short-write
+// injection without filling a real filesystem. The nil fast path is one
+// atomic load, so production writes pay nothing.
+var hook atomic.Pointer[func(dest, stage string) error]
+
+// SetHook installs (or, with nil, removes) the stage-fault hook. It
+// returns the previous hook so tests can restore it.
+func SetHook(h func(dest, stage string) error) (prev func(dest, stage string) error) {
+	var p *func(dest, stage string) error
+	if h != nil {
+		p = &h
+	}
+	if old := hook.Swap(p); old != nil {
+		prev = *old
+	}
+	return prev
+}
+
+// HookEnabled reports whether a stage-fault hook is installed. It is the
+// exact check every write performs per stage, exported so the ci bench
+// guard can pin its cost at 0 allocs.
+func HookEnabled() bool { return hook.Load() != nil }
+
+// stageFault runs the installed hook, if any, for one stage.
+func stageFault(dest, stage string) error {
+	h := hook.Load()
+	if h == nil {
+		return nil
+	}
+	return (*h)(dest, stage)
+}
 
 // seq disambiguates concurrent writers inside one process.
 var seq atomic.Uint64
@@ -77,25 +134,40 @@ func write(dir, name string, data []byte, perm os.FileMode, sync bool) error {
 		os.Remove(tmp)
 		return &WriteError{Dest: dst, Stage: stage, Err: err}
 	}
+	if err := stageFault(dst, StageCreateTemp); err != nil {
+		return &WriteError{Dest: dst, Stage: StageCreateTemp, Err: err}
+	}
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
 	if err != nil {
 		return &WriteError{Dest: dst, Stage: StageCreateTemp, Err: err}
 	}
-	if err := writeAll(f, data); err != nil {
+	werr := stageFault(dst, StageWrite)
+	if werr == nil {
+		werr = writeAll(f, data)
+	}
+	if werr != nil {
 		f.Close()
-		return fail(StageWrite, err)
+		return fail(StageWrite, werr)
 	}
 	if sync {
-		if err := f.Sync(); err != nil {
+		serr := stageFault(dst, StageSync)
+		if serr == nil {
+			serr = f.Sync()
+		}
+		if serr != nil {
 			f.Close()
-			return fail(StageSync, err)
+			return fail(StageSync, serr)
 		}
 	}
 	if err := f.Close(); err != nil {
 		return fail(StageClose, err)
 	}
-	if err := os.Rename(tmp, dst); err != nil {
-		return fail(StageRename, err)
+	rerr := stageFault(dst, StageRename)
+	if rerr == nil {
+		rerr = os.Rename(tmp, dst)
+	}
+	if rerr != nil {
+		return fail(StageRename, rerr)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -164,6 +165,109 @@ func TestWriteErrorSurfacesDestAndStage(t *testing.T) {
 		if !strings.Contains(err.Error(), part) {
 			t.Errorf("error %q does not mention %q", err, part)
 		}
+	}
+}
+
+// TestDiskFullInjection drives every stage of the write through the
+// fault hook with ENOSPC (and the short-write variant), asserting the
+// typed, actionable error and — the satellite's point — that no temp
+// file is ever stranded, whichever stage the disk filled at.
+func TestDiskFullInjection(t *testing.T) {
+	stages := []string{StageCreateTemp, StageWrite, StageSync, StageRename}
+	for _, stage := range stages {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			target := stage
+			prev := SetHook(func(dest, s string) error {
+				if s == target {
+					return syscall.ENOSPC
+				}
+				return nil
+			})
+			defer SetHook(prev)
+			err := WriteFileSync(dir, "seg.rsjl", []byte("payload"), 0o644)
+			var we *WriteError
+			if !errors.As(err, &we) {
+				t.Fatalf("stage %s: error %v (%T) is not a *WriteError", stage, err, err)
+			}
+			if we.Stage != stage {
+				t.Errorf("stage = %q, want %q", we.Stage, stage)
+			}
+			if !we.DiskFull() || !IsDiskFull(err) {
+				t.Errorf("ENOSPC at %s not classified as disk-full: %v", stage, err)
+			}
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Errorf("error %v does not unwrap to ENOSPC", err)
+			}
+			if !strings.Contains(err.Error(), "disk full") || !strings.Contains(err.Error(), "free space") {
+				t.Errorf("error %q is not actionable (no disk-full guidance)", err)
+			}
+			// No partial destination, no stranded temps.
+			if _, serr := os.Stat(filepath.Join(dir, "seg.rsjl")); !os.IsNotExist(serr) {
+				t.Errorf("destination exists after failed %s: %v", stage, serr)
+			}
+			ents, rerr := os.ReadDir(dir)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if len(ents) != 0 {
+				t.Errorf("stage %s stranded files: %v", stage, ents)
+			}
+		})
+	}
+}
+
+// TestShortWriteInjection: a short write injected at the write stage must
+// classify as disk-full and leave the directory clean.
+func TestShortWriteInjection(t *testing.T) {
+	dir := t.TempDir()
+	prev := SetHook(func(dest, s string) error {
+		if s == StageWrite {
+			return fmt.Errorf("wrote 3 of 7 bytes: %w", io.ErrShortWrite)
+		}
+		return nil
+	})
+	defer SetHook(prev)
+	err := WriteFile(dir, "k.bin", []byte("payload"), 0o644)
+	if !IsDiskFull(err) {
+		t.Fatalf("short write not classified disk-full: %v", err)
+	}
+	ents, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(ents) != 0 {
+		t.Errorf("stranded files after short write: %v", ents)
+	}
+}
+
+// TestHookRestoreAndDisabled: SetHook returns the previous hook, and with
+// none installed HookEnabled is false and writes succeed untouched.
+func TestHookRestoreAndDisabled(t *testing.T) {
+	if HookEnabled() {
+		t.Fatal("hook enabled at test start")
+	}
+	called := false
+	prev := SetHook(func(dest, s string) error { called = true; return nil })
+	if prev != nil {
+		t.Fatal("previous hook was not nil")
+	}
+	if !HookEnabled() {
+		t.Fatal("HookEnabled false after SetHook")
+	}
+	dir := t.TempDir()
+	if err := WriteFile(dir, "k", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("installed hook was never consulted")
+	}
+	SetHook(prev)
+	if HookEnabled() {
+		t.Fatal("HookEnabled true after restore to nil")
+	}
+	if err := WriteFile(dir, "k2", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,197 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reramsim/internal/chaos"
+	"reramsim/internal/dist"
+	"reramsim/internal/jobs"
+	"reramsim/internal/obs"
+)
+
+// TestMain enables the metric registry so the fleet test can assert
+// chaos.* and dist.* counter movement (disabled counters ignore Inc).
+func TestMain(m *testing.M) {
+	obs.SetEnabled(true)
+	os.Exit(m.Run())
+}
+
+// fleetPayload is the deterministic cell payload: identical across
+// workers and across runs, the invariant the byte-identity check rides on.
+func fleetPayload(key string) []byte { return []byte("fleet-payload:" + key) }
+
+func fleetRunner(dist.GridSpec) (dist.CellFunc, error) {
+	return func(_ context.Context, key string) ([]byte, error) {
+		return fleetPayload(key), nil
+	}, nil
+}
+
+// fleetSpec is a 3x4 grid: enough cells that every fault class in the
+// plan gets traffic to bite.
+func fleetSpec(digest string) dist.GridSpec {
+	var spec dist.GridSpec
+	spec.Digest = digest
+	for _, s := range []string{"A", "B", "C"} {
+		for _, w := range []string{"w1", "w2", "w3", "w4"} {
+			spec.Pairs = append(spec.Pairs, dist.Pair{Scheme: s, Workload: w})
+		}
+	}
+	return spec
+}
+
+// runFleet executes one full sweep — coordinator plus four in-process
+// worker loops — and returns the report's Done map, the journal as
+// reloaded from disk, and the final worker health snapshot. afterOpen
+// runs between the engine open and the fleet start: the chaos run
+// installs its plan there, so the ENOSPC episodes land on sweep journal
+// appends rather than the engine's manifest write. When corruptFirst is
+// set, worker w-3 mangles its first shipped segment (the deterministic
+// corrupt-worker model).
+func runFleet(t *testing.T, dir, digest string, corruptFirst bool, afterOpen func()) (map[string][]byte, map[string][]byte, []jobs.WorkerHealth) {
+	t.Helper()
+	spec := fleetSpec(digest)
+	eng, err := jobs.Open(jobs.Options{Dir: dir, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterOpen != nil {
+		afterOpen()
+	}
+	c, err := dist.StartCoordinator(dist.CoordinatorOptions{
+		LeaseTTL:  400 * time.Millisecond,
+		MaxLeases: 10,
+		Health:    dist.HealthOptions{BanCooldown: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type res struct {
+		rep *jobs.Report
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		rep, err := c.RunSweep(context.Background(), spec, eng)
+		resCh <- res{rep, err}
+	}()
+
+	werrs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		opts := dist.WorkerOptions{
+			Join:      c.Addr(),
+			ID:        fmt.Sprintf("w-%d", i),
+			Max:       2,
+			Poll:      20 * time.Millisecond,
+			NewRunner: fleetRunner,
+		}
+		if corruptFirst && i == 3 {
+			var once atomic.Bool
+			opts.MangleSegment = func(_ string, seg []byte) []byte {
+				if once.CompareAndSwap(false, true) {
+					out := append([]byte(nil), seg...)
+					out[len(out)/2] ^= 0x01
+					return out
+				}
+				return seg
+			}
+		}
+		go func() { werrs <- dist.RunWorker(context.Background(), opts) }()
+	}
+
+	var r res
+	select {
+	case r = <-resCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fleet sweep did not converge")
+	}
+	if r.err != nil {
+		t.Fatalf("RunSweep: %v", r.err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-werrs; err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	}
+
+	health := c.HealthSnapshot()
+	eng2, err := jobs.Open(jobs.Options{Dir: dir, Resume: true, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, _ := eng2.Prepare(spec.Keys())
+	return r.rep.Done, disk, health
+}
+
+// TestFleetUnderChaosIsByteIdentical is the tentpole end-to-end: a clean
+// 4-worker sweep and the same sweep under a seeded fault plan (latency,
+// drops, resets, truncation, segment bit-flips, ENOSPC journal episodes,
+// plus one deliberately corrupt worker) must produce byte-identical
+// reports and byte-identical journals — chaos may only cost time, never
+// results — while the integrity counters show the faults were actually
+// exercised and the corrupt worker's score dropped.
+func TestFleetUnderChaosIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet e2e in -short mode")
+	}
+	base := t.TempDir()
+	cleanDone, cleanDisk, _ := runFleet(t, filepath.Join(base, "clean"), "grid-fleet-1", false, nil)
+	spec := fleetSpec("grid-fleet-1")
+	if len(cleanDone) != len(spec.Keys()) {
+		t.Fatalf("clean run finished %d/%d cells", len(cleanDone), len(spec.Keys()))
+	}
+
+	plan, err := chaos.ParsePlan("seed=42,latency=5ms,latency-p=0.2,drop=0.05,reset=0.05,truncate=0.05,flip=0.1,enospc=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Uninstall()
+
+	badBefore := obs.C("dist.segments.bad").Value()
+	enospcBefore := obs.C("chaos.enospc").Value()
+	chaosDone, chaosDisk, health := runFleet(t, filepath.Join(base, "chaos"), "grid-fleet-2", true,
+		func() { chaos.Install(plan) })
+	chaos.Uninstall()
+
+	// Byte identity: the report and the journal match the clean run cell
+	// for cell. (Digests differ only through the grid digest pin, so
+	// compare payload maps directly — both runs used the same payloads.)
+	for _, k := range spec.Keys() {
+		if !bytes.Equal(chaosDone[k], fleetPayload(k)) {
+			t.Errorf("chaos run cell %s = %q, want %q", k, chaosDone[k], fleetPayload(k))
+		}
+	}
+	if !reflect.DeepEqual(cleanDone, chaosDone) {
+		t.Error("chaos run report differs from clean run")
+	}
+	if !reflect.DeepEqual(cleanDisk, chaosDisk) {
+		t.Error("chaos run journal differs from clean run")
+	}
+
+	// The faults really fired: the corrupt worker's segment was refused
+	// (dist.segments.bad) and the ENOSPC episodes were spent.
+	if got := obs.C("dist.segments.bad").Value(); got <= badBefore {
+		t.Errorf("dist.segments.bad = %d (before %d); corrupt segment never rejected", got, badBefore)
+	}
+	if got := obs.C("chaos.enospc").Value() - enospcBefore; got != 2 {
+		t.Errorf("chaos.enospc advanced by %d, want exactly the 2 planned episodes", got)
+	}
+	var mangler *jobs.WorkerHealth
+	for i := range health {
+		if health[i].Worker == "w-3" {
+			mangler = &health[i]
+		}
+	}
+	if mangler == nil || mangler.Rejects < 1 {
+		t.Errorf("corrupt worker health = %+v, want at least one reject debited", mangler)
+	}
+}

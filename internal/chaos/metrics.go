@@ -1,0 +1,15 @@
+package chaos
+
+import "reramsim/internal/obs"
+
+// Injected-fault observability ("chaos.*" series): counts of each fault
+// actually fired, so a chaos e2e can assert the plan really injected
+// (e.g. chaos.enospc >= 1) rather than passing vacuously on a quiet run.
+var (
+	obsLatency     = obs.C("chaos.latency")     // latency injections
+	obsDrops       = obs.C("chaos.drops")       // requests dropped before send
+	obsResets      = obs.C("chaos.resets")      // connections reset after delivery
+	obsTruncations = obs.C("chaos.truncations") // response bodies truncated
+	obsFlips       = obs.C("chaos.flips")       // segment-upload bits flipped
+	obsENOSPC      = obs.C("chaos.enospc")      // journal fsyncs failed with ENOSPC
+)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -47,6 +48,19 @@ type CoordinatorOptions struct {
 	// (the reramd daemon fleet); one-shot coordinators (reramsim
 	// -coordinator) tell workers Done once their sweep ends.
 	Persistent bool
+	// AuditFraction samples completed cells for cross-checking: each
+	// completion is, with this probability (deterministic in grid digest
+	// and cell key), re-leased to a different worker and the recomputed
+	// result digest compared against the original. Divergence quarantines
+	// the cell and flags both workers. 0 disables audits; 1 audits every
+	// cell.
+	AuditFraction float64
+	// AuditGrace bounds how long an audit may sit unleased before it is
+	// abandoned (default 10x LeaseTTL) — a single-worker fleet can never
+	// audit its own completions and must not wedge the sweep.
+	AuditGrace time.Duration
+	// Health tunes the worker trust scoring (zero value = defaults).
+	Health HealthOptions
 	// Log receives human-readable lease/merge events (nil discards).
 	Log io.Writer
 }
@@ -70,7 +84,18 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.DrainGrace <= 0 {
 		o.DrainGrace = o.LeaseTTL
 	}
+	if o.AuditGrace <= 0 {
+		o.AuditGrace = 10 * o.LeaseTTL
+	}
+	o.Health = o.Health.withDefaults()
 	return o
+}
+
+// resultInfo records who completed a cell and under which verified
+// digest, so later duplicates and audit returns can be cross-checked.
+type resultInfo struct {
+	worker string
+	digest string
 }
 
 // sweep is one active grid: its lease table, the engine its records
@@ -84,6 +109,7 @@ type sweep struct {
 	table    *leaseTable
 	rep      *jobs.Report
 	failures map[string]jobs.CellFailure
+	results  map[string]resultInfo // completed key -> verified digest + completer
 	draining bool
 	finished chan struct{} // closed when remaining hits zero
 	done     bool
@@ -105,6 +131,12 @@ type Coordinator struct {
 	opts CoordinatorOptions
 	ln   net.Listener
 	srv  *http.Server
+
+	// health scores workers across sweeps (own leaf lock).
+	health *healthTable
+
+	closeOnce sync.Once
+	closeErr  error
 
 	mu      sync.Mutex
 	sweeps  map[string]*sweep
@@ -128,6 +160,7 @@ func StartCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c := &Coordinator{
 		opts:        opts,
 		ln:          ln,
+		health:      newHealthTable(opts.Health),
 		sweeps:      make(map[string]*sweep),
 		workers:     make(map[string]time.Time),
 		notify:      make(chan struct{}),
@@ -151,13 +184,17 @@ func StartCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 // Addr returns the bound listen address ("host:port").
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Close stops the protocol server and the lease janitor.
+// Close stops the protocol server and the lease janitor. It is
+// idempotent: later calls return the first call's result.
 func (c *Coordinator) Close() error {
-	close(c.janitorStop)
-	<-c.janitorDone
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return c.srv.Shutdown(ctx)
+	c.closeOnce.Do(func() {
+		close(c.janitorStop)
+		<-c.janitorDone
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		c.closeErr = c.srv.Shutdown(ctx)
+	})
+	return c.closeErr
 }
 
 // LiveWorkers counts workers heard from within three lease TTLs — the
@@ -259,8 +296,10 @@ func (c *Coordinator) RunSweep(ctx context.Context, spec GridSpec, eng *jobs.Eng
 		table:    newLeaseTable(pending),
 		rep:      rep,
 		failures: make(map[string]jobs.CellFailure, 4),
+		results:  make(map[string]resultInfo, len(pending)),
 		finished: make(chan struct{}),
 	}
+	eng.SetHealthSource(c.health.snapshot)
 	c.mu.Lock()
 	if _, dup := c.sweeps[spec.Digest]; dup {
 		c.mu.Unlock()
@@ -334,6 +373,19 @@ func (c *Coordinator) touchWorker(id string) {
 	c.mu.Unlock()
 }
 
+// HealthSnapshot exports the current worker trust scores (the /progress
+// health section and the tests read it).
+func (c *Coordinator) HealthSnapshot() []jobs.WorkerHealth { return c.health.snapshot() }
+
+// wakeLeases rouses lease long-polls (new work: a sweep arrived or an
+// audit was scheduled).
+func (c *Coordinator) wakeLeases() {
+	c.mu.Lock()
+	close(c.notify)
+	c.notify = make(chan struct{})
+	c.mu.Unlock()
+}
+
 // handleLease grants up to min(req.Max, LeaseBatch) cells from the
 // oldest sweep with pending work. With no work anywhere it long-polls
 // up to LeasePoll for a sweep to arrive, then answers empty with a
@@ -390,6 +442,15 @@ func (c *Coordinator) tryLease(worker string, max int) (LeaseResponse, bool) {
 	c.mu.Unlock()
 
 	now := time.Now()
+	switch c.health.gate(worker, now) {
+	case healthBanned:
+		// No leases until the cooldown serves; the wait hint slows the
+		// worker's polling instead of hot-looping it.
+		return LeaseResponse{WaitMs: c.opts.LeaseTTL.Milliseconds() / 2}, false
+	case healthDemoted:
+		// One cell at a time: the worker can still prove itself.
+		max = 1
+	}
 	for _, sw := range queue {
 		sw.mu.Lock()
 		if sw.draining || sw.done {
@@ -397,12 +458,25 @@ func (c *Coordinator) tryLease(worker string, max int) (LeaseResponse, bool) {
 			continue
 		}
 		leases := sw.table.lease(worker, max, c.opts.LeaseTTL, now)
+		audit := false
+		if len(leases) == 0 {
+			// No pending cells here: offer outstanding audits instead
+			// (re-runs of completed cells by a different worker).
+			leases = sw.table.leaseAudits(worker, max, c.opts.LeaseTTL, now)
+			audit = true
+		}
 		sw.mu.Unlock()
 		if len(leases) == 0 {
 			continue
 		}
 		for i := range leases {
 			leases[i].Digest = sw.digest
+			if audit {
+				// The cell is already done in the engine; the progress view
+				// keeps showing it done while the audit re-runs it.
+				c.logf("audit lease %s -> %s (%s)", leases[i].Key, worker, leases[i].ID)
+				continue
+			}
 			sw.eng.MarkLeased(leases[i].Key, worker)
 			c.logf("lease %s -> %s (%s)", leases[i].Key, worker, leases[i].ID)
 		}
@@ -444,6 +518,10 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 
 // handleComplete merges a worker's returned records into the sweep's
 // engine (journal + caches + progress) and advances the lease table.
+// Every integrity failure is typed: a damaged container refuses the
+// whole request with 400 and an ErrBadSegment message; per-record
+// digest problems come back as Bad entries. Both debit the sender's
+// health score.
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	req, err := readBody(w, r, DecodeCompleteRequest)
 	if err != nil {
@@ -451,72 +529,224 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	c.touchWorker(req.Worker)
 	recs, derr := jobs.DecodeSegment(req.Segment)
-	if derr != nil && len(recs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad segment: %v", derr))
+	if derr != nil {
+		// Checksum or framing damage taints the whole container: even a
+		// decodable prefix travelled with bytes that did not survive the
+		// trip, so nothing in it merges.
+		obsSegmentsBad.Inc()
+		c.health.reject(req.Worker)
+		e := &ErrBadSegment{Worker: req.Worker, Sweep: req.Digest, Reason: ReasonDecode, Err: derr}
+		c.logf("%v", e)
+		httpError(w, http.StatusBadRequest, e.Error())
 		return
 	}
 	c.mu.Lock()
 	sw := c.sweeps[req.Digest]
 	c.mu.Unlock()
 	if sw == nil {
-		// Unknown or already-finished sweep: reject everything; the
-		// worker drops the records (the results were either merged from
-		// another worker or the sweep was torn down).
+		// Unknown or already-finished sweep: typed per-record rejection,
+		// but no health debit — a worker legitimately lands here when it
+		// finishes a cell just as the sweep drains.
 		resp := CompleteResponse{}
 		for _, rec := range recs {
-			resp.Rejected = append(resp.Rejected, rec.Key)
+			resp.Bad = append(resp.Bad, BadRecord{Key: rec.Key, Reason: ReasonUnknownSweep})
 		}
-		obsMergeRejected.Add(uint64(len(resp.Rejected)))
+		obsMergeRejected.Add(uint64(len(resp.Bad)))
 		writeJSON(w, resp)
 		return
 	}
-	resp := c.mergeRecords(sw, req.Worker, recs)
+	resp, auditsScheduled := c.mergeRecords(sw, req.Worker, recs, req.Digests)
+	if auditsScheduled {
+		c.wakeLeases()
+	}
 	writeJSON(w, resp)
 }
 
 // mergeRecords applies one record batch to a sweep under its lock.
-func (c *Coordinator) mergeRecords(sw *sweep, worker string, recs []jobs.Record) CompleteResponse {
+//
+// Completed records are digest-gated: the coordinator recomputes
+// jobs.ResultDigest over the received payload and refuses records whose
+// claimed digest is missing or different (ReasonMissingDigest /
+// ReasonDigestMismatch). A verified record then resolves an outstanding
+// audit of its cell, cross-checks a duplicate completion, or — the
+// common case — imports into the engine's journal FIRST and only then
+// advances the lease table, so a journal-append failure leaves the cell
+// leased (it re-leases on expiry) rather than done-but-unmerged.
+func (c *Coordinator) mergeRecords(sw *sweep, worker string, recs []jobs.Record, digests map[string]string) (CompleteResponse, bool) {
 	var resp CompleteResponse
+	auditsScheduled := false
+	now := time.Now()
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	for _, rec := range recs {
 		quarantined := rec.Kind == jobs.RecordQuarantined
-		if !sw.table.finish(rec.Key, worker, quarantined) {
+		state, known := sw.table.state(rec.Key)
+		if !known {
+			// Not a cell of this sweep: a worker never holds a lease on
+			// one, so this is a protocol violation, not a race.
+			resp.Bad = append(resp.Bad, BadRecord{Key: rec.Key, Reason: ReasonUnknownCell})
+			obsMergeRejected.Inc()
+			c.health.reject(worker)
+			c.logf("%v", &ErrBadSegment{Worker: worker, Sweep: sw.digest, Key: rec.Key, Reason: ReasonUnknownCell})
+			continue
+		}
+
+		var want string
+		if !quarantined && worker != "" {
+			want = jobs.ResultDigest(sw.digest, rec.Key, rec.Data)
+			got, reason := digests[rec.Key], ""
+			switch {
+			case got == "":
+				reason = ReasonMissingDigest
+			case got != want:
+				reason = ReasonDigestMismatch
+			}
+			if reason != "" {
+				resp.Bad = append(resp.Bad, BadRecord{Key: rec.Key, Reason: reason})
+				obsDigestMismatch.Inc()
+				c.health.reject(worker)
+				c.logf("%v", &ErrBadSegment{Worker: worker, Sweep: sw.digest, Key: rec.Key, Reason: reason})
+				continue
+			}
+		}
+
+		// An outstanding audit of this cell: the record is the re-run's
+		// verdict, not a new result.
+		if a := sw.table.auditFor(rec.Key); a != nil && !quarantined && worker != "" && worker != a.origWorker {
+			if c.resolveAuditLocked(sw, a, worker, want) {
+				resp.Accepted = append(resp.Accepted, rec.Key)
+			} else {
+				resp.Bad = append(resp.Bad, BadRecord{Key: rec.Key, Reason: ReasonDivergence})
+			}
+			continue
+		}
+
+		if state == cellDone && !quarantined {
+			// Duplicate completion: benign when the bytes agree (two
+			// workers raced the cell), a divergence flagging both workers
+			// when they do not — deterministic cells cannot disagree.
+			if prev, ok := sw.results[rec.Key]; ok && worker != "" && prev.digest != want {
+				resp.Bad = append(resp.Bad, BadRecord{Key: rec.Key, Reason: ReasonDivergence})
+				obsDigestMismatch.Inc()
+				c.flagDivergence(sw.digest, rec.Key, worker, prev.worker)
+				continue
+			}
 			resp.Rejected = append(resp.Rejected, rec.Key)
 			obsMergeRejected.Inc()
 			continue
 		}
+
 		completed, failures, ierr := sw.eng.ImportRecords(worker, []jobs.Record{rec})
 		if ierr != nil {
-			// Journal write failure: the cell is merged in memory state
-			// only if the engine said so; report what happened and keep
-			// the sweep going — a missing journal record means the cell
-			// re-runs on a future resume, never a wrong result.
-			c.logf("merge %s from %s: journal append failed: %v", rec.Key, worker, ierr)
+			// Journal write failure: the table has NOT advanced, so the
+			// cell stays leased and re-leases on expiry — the sweep can
+			// never finish with this cell unrecorded.
+			c.logf("merge %s from %s: journal append failed, cell stays leased: %v", rec.Key, worker, ierr)
+			resp.Rejected = append(resp.Rejected, rec.Key)
+			obsMergeRejected.Inc()
+			continue
 		}
+		if len(completed) == 0 && len(failures) == 0 {
+			// The engine deduplicated (already done): advance the table to
+			// match and drop the redundant record.
+			sw.table.finish(rec.Key, worker, quarantined)
+			resp.Rejected = append(resp.Rejected, rec.Key)
+			obsMergeRejected.Inc()
+			continue
+		}
+		sw.table.finish(rec.Key, worker, quarantined)
 		for _, k := range completed {
 			sw.rep.Done[k] = mustPayload(sw.eng, k)
 			sw.rep.Executed = append(sw.rep.Executed, k)
 			delete(sw.failures, k) // completion supersedes quarantine
+			sw.results[k] = resultInfo{worker: worker, digest: want}
 			obsMergedDone.Inc()
+			c.health.completion(worker)
 			c.logf("merged %s from %s", k, worker)
+			if worker != "" && auditSampled(sw.digest, k, c.opts.AuditFraction) &&
+				sw.table.scheduleAudit(k, worker, want, now) {
+				obsAuditsScheduled.Inc()
+				auditsScheduled = true
+				c.logf("audit scheduled: %s (completed by %s)", k, worker)
+			}
 		}
 		for _, f := range failures {
 			sw.failures[f.Key] = f
 			obsMergedQuar.Inc()
 			c.logf("quarantined %s from %s (%s): %v", f.Key, worker, f.Reason, f.Err)
 		}
-		if len(completed) == 0 && len(failures) == 0 {
-			// The engine deduplicated (already done): undo nothing — the
-			// table transition stands, the record is just redundant.
-			resp.Rejected = append(resp.Rejected, rec.Key)
-			obsMergeRejected.Inc()
-			continue
-		}
 		resp.Accepted = append(resp.Accepted, rec.Key)
 	}
 	sw.finishLocked()
-	return resp
+	return resp, auditsScheduled
+}
+
+// resolveAuditLocked settles an audit with the auditor's recomputed
+// digest (caller holds sw.mu and has already verified the digest against
+// the auditor's payload). A match confirms the original completion; a
+// mismatch is a divergence — the completion is retracted from the
+// journal, the cell quarantined, and both workers flagged. Reports
+// whether the audit passed.
+func (c *Coordinator) resolveAuditLocked(sw *sweep, a *auditEntry, auditor, recomputed string) bool {
+	key := a.key
+	sw.table.resolveAudit(key)
+	if recomputed == a.origDigest {
+		obsAuditsPassed.Inc()
+		c.health.completion(auditor)
+		c.logf("audit passed: %s (%s confirms %s)", key, auditor, a.origWorker)
+		return true
+	}
+	obsAuditsFailed.Inc()
+	c.flagDivergence(sw.digest, key, auditor, a.origWorker)
+	if _, rerr := sw.eng.Retract(auditor, key, "audit",
+		fmt.Sprintf("dist: audit divergence: %s computed %s, %s computed %s",
+			a.origWorker, shortDigest(a.origDigest), auditor, shortDigest(recomputed))); rerr != nil {
+		c.logf("audit %s: retraction append failed: %v", key, rerr)
+	}
+	sw.table.quarantineDone(key)
+	delete(sw.rep.Done, key)
+	delete(sw.results, key)
+	for i, k := range sw.rep.Executed {
+		if k == key {
+			sw.rep.Executed = append(sw.rep.Executed[:i], sw.rep.Executed[i+1:]...)
+			break
+		}
+	}
+	sw.failures[key] = jobs.CellFailure{
+		Key:    key,
+		Reason: "audit",
+		Err: fmt.Errorf("dist: audit divergence on %s: workers %s and %s computed different results",
+			key, a.origWorker, auditor),
+	}
+	return false
+}
+
+// flagDivergence debits both parties of a result disagreement — the
+// coordinator cannot know which one miscomputed.
+func (c *Coordinator) flagDivergence(digest, key, w1, w2 string) {
+	for _, w := range []string{w1, w2} {
+		if score, _, banned := c.health.auditFail(w); banned {
+			c.logf("worker %s banned after divergence on %s (score %.2f)", w, key, score)
+		}
+	}
+	c.logf("%v", &ErrBadSegment{Worker: w1, Sweep: digest, Key: key, Reason: ReasonDivergence})
+}
+
+// auditSampled decides deterministically — in grid digest and cell key
+// only — whether a completed cell is audited, so a resumed coordinator
+// samples the same cells.
+func auditSampled(digest, key string, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	io.WriteString(h, digest)
+	io.WriteString(h, "\x00audit\x00")
+	io.WriteString(h, key)
+	return float64(h.Sum64()>>11)/float64(1<<53) < fraction
 }
 
 // mustPayload fetches the just-imported payload for key.
@@ -560,20 +790,38 @@ func (c *Coordinator) janitor() {
 	}
 }
 
-// reclaim runs one expiry pass over every sweep.
+// reclaim runs one expiry pass over every sweep: expired cell leases
+// return to pending (debiting the holder's health score), expired audit
+// leases return to the audit pool, over-churned cells poison, and
+// audits that sat unleased past AuditGrace are abandoned — a
+// single-worker fleet can never audit its own completions and must not
+// wedge the sweep.
 func (c *Coordinator) reclaim(now time.Time) {
 	c.mu.Lock()
 	queue := append([]*sweep(nil), c.queue...)
 	c.mu.Unlock()
 	for _, sw := range queue {
 		sw.mu.Lock()
-		released, poisoned := sw.table.expire(now, c.opts.MaxLeases)
-		for _, k := range released {
-			sw.eng.MarkReleased(k)
+		released, poisoned, auditsDropped := sw.table.expire(now, c.opts.MaxLeases)
+		auditsDropped = append(auditsDropped, sw.table.staleAudits(now, c.opts.AuditGrace)...)
+		for _, el := range released {
+			if st, ok := sw.table.state(el.key); ok && st == cellPending {
+				sw.eng.MarkReleased(el.key)
+			}
 			obsLeasesExpired.Inc()
-			c.logf("lease expired: %s re-leasable", k)
+			c.logf("lease expired: %s re-leasable (held by %s)", el.key, el.worker)
 		}
+		for _, k := range auditsDropped {
+			obsAuditsDropped.Inc()
+			c.logf("audit abandoned: %s (no eligible worker)", k)
+		}
+		sw.finishLocked() // abandoned audits may have been the last work
 		sw.mu.Unlock()
+		for _, el := range released {
+			if score, _, banned := c.health.expiry(el.worker); banned {
+				c.logf("worker %s banned after expiries (score %.2f)", el.worker, score)
+			}
+		}
 		for _, k := range poisoned {
 			obsPoisoned.Inc()
 			c.logf("cell %s poisoned: %d leases expired without a result", k, c.opts.MaxLeases)
@@ -583,7 +831,7 @@ func (c *Coordinator) reclaim(now time.Time) {
 				Data: jobs.QuarantinePayload("error",
 					fmt.Sprintf("dist: %d leases expired without a result (workers lost?)", c.opts.MaxLeases), ""),
 			}
-			c.mergeRecords(sw, "", []jobs.Record{rec})
+			c.mergeRecords(sw, "", []jobs.Record{rec}, nil)
 		}
 	}
 }

@@ -169,7 +169,8 @@ func leaseAll(t *testing.T, addr, worker string, want int) []Lease {
 	return out
 }
 
-// completeCells posts one segment per record in the given order.
+// completeCells posts one segment per record in the given order, with
+// the result digest every completion must now carry.
 func completeCells(t *testing.T, addr, worker, digest string, leases map[string]string, recs []jobs.Record) {
 	t.Helper()
 	for _, rec := range recs {
@@ -178,6 +179,9 @@ func completeCells(t *testing.T, addr, worker, digest string, leases map[string]
 			Digest:  digest,
 			Leases:  leases,
 			Segment: jobs.EncodeSegment([]jobs.Record{rec}),
+		}
+		if rec.Kind == jobs.RecordCompleted {
+			req.Digests = map[string]string{rec.Key: jobs.ResultDigest(digest, rec.Key, rec.Data)}
 		}
 		postJSONTest(t, addr, "/dist/v1/complete", req, DecodeCompleteResponse)
 	}
@@ -484,7 +488,7 @@ func TestLeaseTableExpiryAndPoison(t *testing.T) {
 		if len(ls) != 1 {
 			t.Fatalf("cycle %d: got %d leases", cycle, len(ls))
 		}
-		released, poisoned := tab.expire(now.Add(2*time.Second), 2)
+		released, poisoned, _ := tab.expire(now.Add(2*time.Second), 2)
 		if cycle == 1 {
 			if len(released) != 1 || len(poisoned) != 0 {
 				t.Fatalf("cycle 1: released=%v poisoned=%v", released, poisoned)

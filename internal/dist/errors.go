@@ -1,0 +1,51 @@
+package dist
+
+import "fmt"
+
+// Rejection reasons carried by ErrBadSegment and CompleteResponse.Bad.
+const (
+	// ReasonDecode: the RSJL container failed its checksum/framing.
+	ReasonDecode = "decode"
+	// ReasonMissingDigest: a completed record arrived without a claimed
+	// result digest.
+	ReasonMissingDigest = "missing-digest"
+	// ReasonDigestMismatch: the claimed digest does not match the digest
+	// recomputed from the received payload — the blob was corrupted in
+	// flight or the worker lied.
+	ReasonDigestMismatch = "digest-mismatch"
+	// ReasonDivergence: two workers returned full, self-consistent
+	// results for one cell with different digests — at least one of them
+	// computed wrong.
+	ReasonDivergence = "divergence"
+	// ReasonUnknownCell: the record names a cell outside the sweep's grid.
+	ReasonUnknownCell = "unknown-cell"
+	// ReasonUnknownSweep: the segment targets a digest this coordinator
+	// is not running.
+	ReasonUnknownSweep = "unknown-sweep"
+)
+
+// ErrBadSegment is a worker-returned segment (or one record inside it)
+// the coordinator refused on integrity grounds. It is the typed form of
+// every rejection the audit layer can issue, so tests and callers can
+// assert on the exact failure mode instead of matching log strings.
+type ErrBadSegment struct {
+	Worker string // sender
+	Sweep  string // grid digest the segment targeted
+	Key    string // offending cell key ("" when the whole container failed)
+	Reason string // Reason* constant
+	Err    error  // underlying cause, when one exists
+}
+
+func (e *ErrBadSegment) Error() string {
+	msg := fmt.Sprintf("dist: bad segment from %s (sweep %s", e.Worker, shortDigest(e.Sweep))
+	if e.Key != "" {
+		msg += ", cell " + e.Key
+	}
+	msg += "): " + e.Reason
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *ErrBadSegment) Unwrap() error { return e.Err }

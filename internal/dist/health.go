@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"reramsim/internal/jobs"
+)
+
+// Worker health scoring: the coordinator keeps a per-worker tally of
+// outcomes and derives a trust score from it,
+//
+//	score = (1 + completions) / (1 + completions + expiries + 2*rejects + 4*auditFails)
+//
+// so integrity failures weigh far more than mere slowness. A worker
+// whose score sinks below DemoteBelow is demoted (one lease at a time —
+// it can still prove itself); below BanBelow it is banned for a
+// cooldown, after which its penalties halve and it re-enters demoted.
+// Scores are advisory for scheduling only — they never veto a
+// digest-verified completion, and the all-banned guard keeps at least
+// demoted-grade leasing alive so a misfiring fault plan cannot deadlock
+// a sweep.
+
+// Health states, exported through jobs.WorkerHealth.State.
+const (
+	healthOK      = "ok"
+	healthDemoted = "demoted"
+	healthBanned  = "banned"
+)
+
+// HealthOptions tunes the scoring thresholds; the zero value selects
+// the defaults.
+type HealthOptions struct {
+	// DemoteBelow is the score under which a worker gets one lease at a
+	// time (default 0.6).
+	DemoteBelow float64
+	// BanBelow is the score under which a worker receives no leases for
+	// BanCooldown (default 0.3).
+	BanBelow float64
+	// BanCooldown is the ban duration; on expiry the worker's penalty
+	// counts halve and it resumes demoted (default 30s).
+	BanCooldown time.Duration
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.DemoteBelow <= 0 {
+		o.DemoteBelow = 0.6
+	}
+	if o.BanBelow <= 0 {
+		o.BanBelow = 0.3
+	}
+	if o.BanCooldown <= 0 {
+		o.BanCooldown = 30 * time.Second
+	}
+	return o
+}
+
+// workerScore is one worker's tally.
+type workerScore struct {
+	completions int
+	expiries    int
+	rejects     int
+	auditFails  int
+	bannedUntil time.Time // zero when not banned
+	lastState   string    // last classification, for transition metrics
+}
+
+func (s *workerScore) score() float64 {
+	pen := s.expiries + 2*s.rejects + 4*s.auditFails
+	return float64(1+s.completions) / float64(1+s.completions+pen)
+}
+
+// healthTable scores workers. It has its own leaf mutex — callers hold
+// sweep or coordinator locks around it freely, it never locks outward.
+type healthTable struct {
+	opts HealthOptions
+
+	mu      sync.Mutex
+	workers map[string]*workerScore
+}
+
+func newHealthTable(opts HealthOptions) *healthTable {
+	return &healthTable{opts: opts.withDefaults(), workers: make(map[string]*workerScore)}
+}
+
+func (t *healthTable) scoreLocked(w string) *workerScore {
+	s, ok := t.workers[w]
+	if !ok {
+		s = &workerScore{lastState: healthOK}
+		t.workers[w] = s
+	}
+	return s
+}
+
+// stateLocked classifies one worker at time now, lifting an elapsed ban
+// (halving penalties) on the way. State transitions feed the demotion
+// and ban counters here, so every path that classifies — events, lease
+// gating, snapshots — counts each transition exactly once.
+func (t *healthTable) stateLocked(s *workerScore, now time.Time) string {
+	state := t.classifyLocked(s, now)
+	if state != s.lastState {
+		switch state {
+		case healthDemoted:
+			obsHealthDemoted.Inc()
+		case healthBanned:
+			obsHealthBanned.Inc()
+		}
+		s.lastState = state
+	}
+	return state
+}
+
+func (t *healthTable) classifyLocked(s *workerScore, now time.Time) string {
+	if !s.bannedUntil.IsZero() {
+		if now.Before(s.bannedUntil) {
+			return healthBanned
+		}
+		// Parole: the cooldown served, penalties halve, standing recomputed.
+		s.bannedUntil = time.Time{}
+		s.expiries /= 2
+		s.rejects /= 2
+		s.auditFails /= 2
+	}
+	score := s.score()
+	if score < t.opts.BanBelow {
+		s.bannedUntil = now.Add(t.opts.BanCooldown)
+		return healthBanned
+	}
+	if score < t.opts.DemoteBelow {
+		return healthDemoted
+	}
+	return healthOK
+}
+
+// event applies one outcome to worker and reports the resulting score
+// and state, flagging a fresh ban transition so the caller can log it.
+// The anonymous worker "" (coordinator-internal merges) is never scored.
+func (t *healthTable) event(worker string, now time.Time, apply func(*workerScore)) (score float64, state string, newlyBanned bool) {
+	if worker == "" {
+		return 1, healthOK, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.scoreLocked(worker)
+	wasBanned := !s.bannedUntil.IsZero() && now.Before(s.bannedUntil)
+	apply(s)
+	state = t.stateLocked(s, now)
+	t.bannedGaugeLocked(now)
+	return s.score(), state, state == healthBanned && !wasBanned
+}
+
+func (t *healthTable) completion(worker string) {
+	if worker == "" {
+		return
+	}
+	t.event(worker, time.Now(), func(s *workerScore) { s.completions++ })
+}
+
+func (t *healthTable) expiry(worker string) (float64, string, bool) {
+	return t.event(worker, time.Now(), func(s *workerScore) { s.expiries++ })
+}
+
+func (t *healthTable) reject(worker string) (float64, string, bool) {
+	return t.event(worker, time.Now(), func(s *workerScore) { s.rejects++ })
+}
+
+func (t *healthTable) auditFail(worker string) (float64, string, bool) {
+	return t.event(worker, time.Now(), func(s *workerScore) { s.auditFails++ })
+}
+
+// gate classifies worker for lease admission. The liveness guard: when
+// every known worker is banned, banned demotes to one-lease-at-a-time —
+// a fleet-wide false alarm (aggressive chaos plan, flaky network) must
+// slow the sweep down, not wedge it.
+func (t *healthTable) gate(worker string, now time.Time) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.scoreLocked(worker)
+	state := t.stateLocked(s, now)
+	if state == healthBanned && t.allBannedLocked(now) {
+		return healthDemoted
+	}
+	return state
+}
+
+func (t *healthTable) allBannedLocked(now time.Time) bool {
+	for _, s := range t.workers {
+		if s.bannedUntil.IsZero() || !now.Before(s.bannedUntil) {
+			return false
+		}
+	}
+	return len(t.workers) > 0
+}
+
+func (t *healthTable) bannedGaugeLocked(now time.Time) {
+	n := 0
+	for _, s := range t.workers {
+		if !s.bannedUntil.IsZero() && now.Before(s.bannedUntil) {
+			n++
+		}
+	}
+	obsWorkersBanned.Set(float64(n))
+}
+
+// snapshot exports every scored worker, sorted by name, for /progress.
+func (t *healthTable) snapshot() []jobs.WorkerHealth {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]jobs.WorkerHealth, 0, len(t.workers))
+	for name, s := range t.workers {
+		out = append(out, jobs.WorkerHealth{
+			Worker:        name,
+			State:         t.stateLocked(s, now),
+			Score:         s.score(),
+			Completions:   s.completions,
+			Expiries:      s.expiries,
+			Rejects:       s.rejects,
+			AuditFailures: s.auditFails,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}

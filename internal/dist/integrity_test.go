@@ -1,0 +1,701 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"reramsim/internal/jobs"
+	"reramsim/internal/obs"
+)
+
+// TestMain enables the metric registry so the integrity tests can
+// assert dist.* counter movement (disabled counters ignore Inc).
+func TestMain(m *testing.M) {
+	obs.SetEnabled(true)
+	os.Exit(m.Run())
+}
+
+// postComplete posts a raw CompleteRequest and returns the HTTP status
+// and decoded response (zero response on non-200).
+func postComplete(t *testing.T, addr string, req CompleteRequest) (int, CompleteResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/dist/v1/complete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, CompleteResponse{}, buf.String()
+	}
+	msg, err := DecodeCompleteResponse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode complete response: %v", err)
+	}
+	return resp.StatusCode, msg, buf.String()
+}
+
+// healthOf finds one worker's snapshot entry.
+func healthOf(t *testing.T, c *Coordinator, worker string) jobs.WorkerHealth {
+	t.Helper()
+	for _, h := range c.HealthSnapshot() {
+		if h.Worker == worker {
+			return h
+		}
+	}
+	t.Fatalf("worker %s not in health snapshot", worker)
+	return jobs.WorkerHealth{}
+}
+
+// startSweep boots a coordinator plus a one-cell-per-pair sweep and
+// returns everything the adversarial tests poke at.
+func startSweep(t *testing.T, opts CoordinatorOptions, digest string, schemes, workloads []string) (*Coordinator, GridSpec, *jobs.Engine, <-chan sweepResult) {
+	t.Helper()
+	c := startCoordinator(t, opts)
+	eng, err := jobs.Open(jobs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(digest, schemes, workloads)
+	res := runSweepAsync(context.Background(), c, spec, eng)
+	return c, spec, eng, res
+}
+
+// TestCompleteRejectsCorruptSegment covers the adversarial container
+// cases: a truncated segment and a flipped payload byte must both be
+// refused with a typed 400 (nothing merges, the sender is debited) and
+// the sweep must still finish cleanly from an honest retry.
+func TestCompleteRejectsCorruptSegment(t *testing.T) {
+	c, spec, _, res := startSweep(t, CoordinatorOptions{}, "grid-corrupt-1", []string{"A"}, []string{"w1"})
+	key := spec.Keys()[0]
+	leases := leaseAll(t, c.Addr(), "evil", 1)
+	byKey := map[string]string{key: leases[0].ID}
+
+	payload := fakePayload(key)
+	good := jobs.EncodeSegment([]jobs.Record{{Kind: jobs.RecordCompleted, Key: key, Data: payload}})
+	digests := map[string]string{key: jobs.ResultDigest(spec.Digest, key, payload)}
+
+	badBefore := obsSegmentsBad.Value()
+	cases := map[string][]byte{
+		"truncated":    good[:len(good)-3],
+		"flipped-byte": flipByte(good, len(good)/2),
+	}
+	for name, seg := range cases {
+		code, _, body := postComplete(t, c.Addr(), CompleteRequest{
+			Worker: "evil", Digest: spec.Digest, Leases: byKey, Digests: digests, Segment: seg,
+		})
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (body %q)", name, code, body)
+		}
+		if !strings.Contains(body, ReasonDecode) || !strings.Contains(body, "evil") {
+			t.Errorf("%s: untyped rejection body %q", name, body)
+		}
+	}
+	if got := obsSegmentsBad.Value() - badBefore; got != 2 {
+		t.Errorf("dist.segments.bad advanced by %d, want 2", got)
+	}
+	if h := healthOf(t, c, "evil"); h.Rejects != 2 || h.Score >= 1 {
+		t.Errorf("offender health = %+v, want 2 rejects and a dented score", h)
+	}
+
+	// The cell is untouched: the honest upload still lands and the sweep
+	// finishes with the right bytes.
+	code, resp, _ := postComplete(t, c.Addr(), CompleteRequest{
+		Worker: "evil", Digest: spec.Digest, Leases: byKey, Digests: digests, Segment: good,
+	})
+	if code != http.StatusOK || len(resp.Accepted) != 1 {
+		t.Fatalf("honest retry: code %d resp %+v", code, resp)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.rep.Done[key], payload) {
+		t.Errorf("cell payload corrupted: %q", r.rep.Done[key])
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestCompleteRejectsBadDigest covers the per-record digest gate: a
+// completion without a digest and one with a wrong digest are refused
+// as typed Bad entries, the journal stays replayable, and the honest
+// record still merges afterwards.
+func TestCompleteRejectsBadDigest(t *testing.T) {
+	dir := t.TempDir()
+	c := startCoordinator(t, CoordinatorOptions{})
+	spec := testSpec("grid-digest-1", []string{"A"}, []string{"w1"})
+	eng, err := jobs.Open(jobs.Options{Dir: dir, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSweepAsync(context.Background(), c, spec, eng)
+	key := spec.Keys()[0]
+	leases := leaseAll(t, c.Addr(), "sloppy", 1)
+	byKey := map[string]string{key: leases[0].ID}
+	payload := fakePayload(key)
+	seg := jobs.EncodeSegment([]jobs.Record{{Kind: jobs.RecordCompleted, Key: key, Data: payload}})
+
+	mismBefore := obsDigestMismatch.Value()
+	for name, digests := range map[string]map[string]string{
+		"missing":  nil,
+		"mismatch": {key: jobs.ResultDigest(spec.Digest, key, []byte("not the payload"))},
+	} {
+		code, resp, _ := postComplete(t, c.Addr(), CompleteRequest{
+			Worker: "sloppy", Digest: spec.Digest, Leases: byKey, Digests: digests, Segment: seg,
+		})
+		if code != http.StatusOK || len(resp.Bad) != 1 {
+			t.Fatalf("%s: code %d resp %+v, want one Bad entry", name, code, resp)
+		}
+		want := ReasonMissingDigest
+		if name == "mismatch" {
+			want = ReasonDigestMismatch
+		}
+		if resp.Bad[0].Key != key || resp.Bad[0].Reason != want {
+			t.Errorf("%s: Bad = %+v, want reason %s", name, resp.Bad[0], want)
+		}
+	}
+	if got := obsDigestMismatch.Value() - mismBefore; got != 2 {
+		t.Errorf("dist.digest.mismatch advanced by %d, want 2", got)
+	}
+	if h := healthOf(t, c, "sloppy"); h.Rejects != 2 {
+		t.Errorf("offender health = %+v, want 2 rejects", h)
+	}
+
+	// Journal replay before the honest upload: nothing merged.
+	eng2, err := jobs.Open(jobs.Options{Dir: dir, Resume: true, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := eng2.Prepare(spec.Keys()); len(done) != 0 {
+		t.Fatalf("rejected record reached the journal: %v", done)
+	}
+
+	completeCells(t, c.Addr(), "sloppy", spec.Digest, byKey, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: payload},
+	})
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.rep.Done[key], payload) {
+		t.Errorf("honest completion lost: %q", r.rep.Done[key])
+	}
+}
+
+// TestCompleteUnknownSweepTyped posts records under a digest the
+// coordinator has never seen (the stale-grid-digest case) and wants a
+// typed per-record rejection without a health debit.
+func TestCompleteUnknownSweepTyped(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{})
+	key := "A/w1"
+	payload := fakePayload(key)
+	code, resp, _ := postComplete(t, c.Addr(), CompleteRequest{
+		Worker: "lagging", Digest: "grid-stale-1",
+		Digests: map[string]string{key: jobs.ResultDigest("grid-stale-1", key, payload)},
+		Segment: jobs.EncodeSegment([]jobs.Record{{Kind: jobs.RecordCompleted, Key: key, Data: payload}}),
+	})
+	if code != http.StatusOK || len(resp.Bad) != 1 {
+		t.Fatalf("code %d resp %+v, want one Bad entry", code, resp)
+	}
+	if resp.Bad[0].Reason != ReasonUnknownSweep {
+		t.Errorf("reason = %s, want %s", resp.Bad[0].Reason, ReasonUnknownSweep)
+	}
+	for _, h := range c.HealthSnapshot() {
+		if h.Worker == "lagging" && h.Rejects != 0 {
+			t.Errorf("stale-sweep delivery debited health: %+v", h)
+		}
+	}
+}
+
+// TestDuplicateCompletionDivergence has two workers complete the same
+// cell with different bytes (both digests internally valid). The first
+// merge wins; the second must be flagged as a divergence debiting both
+// workers, not silently dropped.
+func TestDuplicateCompletionDivergence(t *testing.T) {
+	// Two cells so the sweep stays live after the first completion.
+	c, spec, _, res := startSweep(t, CoordinatorOptions{}, "grid-dup-div-1", []string{"A"}, []string{"w1", "w2"})
+	key := spec.Keys()[0]
+	leases := leaseAll(t, c.Addr(), "first", len(spec.Keys()))
+	byKey := map[string]string{}
+	for _, l := range leases {
+		byKey[l.Key] = l.ID
+	}
+	completeCells(t, c.Addr(), "first", spec.Digest, byKey, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: fakePayload(key)},
+	})
+
+	other := []byte("divergent bytes")
+	code, resp, _ := postComplete(t, c.Addr(), CompleteRequest{
+		Worker: "second", Digest: spec.Digest,
+		Digests: map[string]string{key: jobs.ResultDigest(spec.Digest, key, other)},
+		Segment: jobs.EncodeSegment([]jobs.Record{{Kind: jobs.RecordCompleted, Key: key, Data: other}}),
+	})
+	if code != http.StatusOK || len(resp.Bad) != 1 || resp.Bad[0].Reason != ReasonDivergence {
+		t.Fatalf("code %d resp %+v, want one %s entry", code, resp, ReasonDivergence)
+	}
+	for _, w := range []string{"first", "second"} {
+		if h := healthOf(t, c, w); h.AuditFailures != 1 {
+			t.Errorf("worker %s health = %+v, want 1 audit failure", w, h)
+		}
+	}
+	// First result stands; finishing the other cell ends the sweep.
+	rest := spec.Keys()[1]
+	completeCells(t, c.Addr(), "first", spec.Digest, byKey, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: rest, Data: fakePayload(rest)},
+	})
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.rep.Done[key], fakePayload(key)) {
+		t.Errorf("divergent duplicate displaced the first result: %q", r.rep.Done[key])
+	}
+}
+
+// TestAuditPassConfirmsCompletion runs a sweep with AuditFraction 1: the
+// completion must trigger an audit re-lease to a different worker, and a
+// matching recomputation retires the audit with both workers in good
+// standing.
+func TestAuditPassConfirmsCompletion(t *testing.T) {
+	c, spec, _, res := startSweep(t,
+		CoordinatorOptions{AuditFraction: 1.0}, "grid-audit-pass-1", []string{"A"}, []string{"w1"})
+	key := spec.Keys()[0]
+	leases := leaseAll(t, c.Addr(), "alice", 1)
+	passedBefore := obsAuditsPassed.Value()
+	completeCells(t, c.Addr(), "alice", spec.Digest, map[string]string{key: leases[0].ID}, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: fakePayload(key)},
+	})
+
+	// alice cannot audit her own cell; the audit must go to bob.
+	aliceResp := postJSONTest(t, c.Addr(), "/dist/v1/lease", LeaseRequest{Worker: "alice", Max: 4}, DecodeLeaseResponse)
+	if len(aliceResp.Leases) != 0 {
+		t.Fatalf("original worker leased its own audit: %+v", aliceResp.Leases)
+	}
+	audit := leaseAll(t, c.Addr(), "bob", 1)
+	if audit[0].Key != key {
+		t.Fatalf("audit lease key = %s, want %s", audit[0].Key, key)
+	}
+	completeCells(t, c.Addr(), "bob", spec.Digest, map[string]string{key: audit[0].ID}, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: fakePayload(key)},
+	})
+
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.rep.Done[key], fakePayload(key)) || len(r.rep.Quarantined) != 0 {
+		t.Fatalf("confirmed cell mangled: done=%q quarantined=%v", r.rep.Done[key], r.rep.Quarantined)
+	}
+	if got := obsAuditsPassed.Value() - passedBefore; got != 1 {
+		t.Errorf("dist.audits.passed advanced by %d, want 1", got)
+	}
+	for _, w := range []string{"alice", "bob"} {
+		if h := healthOf(t, c, w); h.State != "ok" || h.AuditFailures != 0 {
+			t.Errorf("worker %s health = %+v, want clean ok", w, h)
+		}
+	}
+}
+
+// TestAuditDivergenceQuarantines is the divergence path end to end: the
+// auditor recomputes different bytes, so the completion must be
+// retracted from the journal, the cell quarantined, both workers
+// flagged, and a journal reload must show the cell pending again.
+func TestAuditDivergenceQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	c := startCoordinator(t, CoordinatorOptions{AuditFraction: 1.0})
+	spec := testSpec("grid-audit-div-1", []string{"A"}, []string{"w1"})
+	eng, err := jobs.Open(jobs.Options{Dir: dir, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSweepAsync(context.Background(), c, spec, eng)
+	key := spec.Keys()[0]
+
+	leases := leaseAll(t, c.Addr(), "alice", 1)
+	failedBefore := obsAuditsFailed.Value()
+	completeCells(t, c.Addr(), "alice", spec.Digest, map[string]string{key: leases[0].ID}, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: fakePayload(key)},
+	})
+	audit := leaseAll(t, c.Addr(), "mallory", 1)
+	completeCells(t, c.Addr(), "mallory", spec.Digest, map[string]string{key: audit[0].ID}, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: []byte("divergent bytes")},
+	})
+
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if _, ok := r.rep.Done[key]; ok {
+		t.Error("diverged cell still reported done")
+	}
+	if len(r.rep.Executed) != 0 {
+		t.Errorf("diverged cell still in Executed: %v", r.rep.Executed)
+	}
+	if len(r.rep.Quarantined) != 1 || r.rep.Quarantined[0].Reason != "audit" {
+		t.Fatalf("Quarantined = %+v, want one audit-reason entry", r.rep.Quarantined)
+	}
+	if got := obsAuditsFailed.Value() - failedBefore; got != 1 {
+		t.Errorf("dist.audits.failed advanced by %d, want 1", got)
+	}
+	for _, w := range []string{"alice", "mallory"} {
+		if h := healthOf(t, c, w); h.AuditFailures != 1 {
+			t.Errorf("worker %s health = %+v, want 1 audit failure", w, h)
+		}
+	}
+
+	// The journal holds completion + retraction: a resume re-runs the cell.
+	eng2, err := jobs.Open(jobs.Options{Dir: dir, Resume: true, Digest: spec.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := eng2.Prepare(spec.Keys()); len(done) != 0 {
+		t.Fatalf("retracted cell resumed as done: %v", done)
+	}
+}
+
+// TestAuditAbandonedWithoutSecondWorker: with one worker in the fleet
+// the audit can never lease; after AuditGrace the janitor must abandon
+// it so the sweep terminates with the (unverified) completion intact.
+func TestAuditAbandonedWithoutSecondWorker(t *testing.T) {
+	c, spec, _, res := startSweep(t, CoordinatorOptions{
+		AuditFraction: 1.0,
+		LeaseTTL:      100 * time.Millisecond,
+		AuditGrace:    200 * time.Millisecond,
+	}, "grid-audit-solo-1", []string{"A"}, []string{"w1"})
+	key := spec.Keys()[0]
+	leases := leaseAll(t, c.Addr(), "solo", 1)
+	droppedBefore := obsAuditsDropped.Value()
+	completeCells(t, c.Addr(), "solo", spec.Digest, map[string]string{key: leases[0].ID}, []jobs.Record{
+		{Kind: jobs.RecordCompleted, Key: key, Data: fakePayload(key)},
+	})
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !bytes.Equal(r.rep.Done[key], fakePayload(key)) {
+			t.Errorf("completion lost when its audit was abandoned: %q", r.rep.Done[key])
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep wedged on an unleasable audit")
+	}
+	if got := obsAuditsDropped.Value() - droppedBefore; got != 1 {
+		t.Errorf("dist.audits.abandoned advanced by %d, want 1", got)
+	}
+}
+
+// TestHealthBanStopsLeasing drives one worker's score through the floor
+// with corrupt segments and checks the lease gate: the banned worker
+// gets an empty response with a wait hint while a healthy worker still
+// drains the sweep; after the cooldown the offender is paroled.
+func TestHealthBanStopsLeasing(t *testing.T) {
+	c, spec, _, res := startSweep(t, CoordinatorOptions{
+		Health: HealthOptions{BanCooldown: 250 * time.Millisecond},
+	}, "grid-ban-1", []string{"A"}, []string{"w1", "w2"})
+
+	// The honest worker leases everything first — which also registers it
+	// with the health table, so the all-banned liveness guard does not
+	// soften the vandal's ban below.
+	keys := spec.Keys()
+	leases := leaseAll(t, c.Addr(), "honest", len(keys))
+
+	bansBefore := obsHealthBanned.Value()
+	// Two corrupt containers: score 1/(1+4) = 0.2 < 0.3 -> ban. (Kept
+	// minimal so one parole halving lifts the ban to demoted below.)
+	for i := 0; i < 2; i++ {
+		code, _, _ := postComplete(t, c.Addr(), CompleteRequest{
+			Worker: "vandal", Digest: spec.Digest, Segment: []byte("not a segment"),
+		})
+		if code != http.StatusBadRequest {
+			t.Fatalf("corrupt container %d: status %d, want 400", i, code)
+		}
+	}
+	if h := healthOf(t, c, "vandal"); h.State != "banned" {
+		t.Fatalf("vandal health = %+v, want banned", h)
+	}
+	if obsHealthBanned.Value() == bansBefore {
+		t.Error("dist.health.bans did not advance")
+	}
+	resp := postJSONTest(t, c.Addr(), "/dist/v1/lease", LeaseRequest{Worker: "vandal", Max: 4}, DecodeLeaseResponse)
+	if len(resp.Leases) != 0 || resp.WaitMs <= 0 {
+		t.Fatalf("banned worker leased cells: %+v", resp)
+	}
+
+	// The healthy worker is unaffected and finishes the sweep.
+	byKey := map[string]string{}
+	var recs []jobs.Record
+	for _, l := range leases {
+		byKey[l.Key] = l.ID
+		recs = append(recs, jobs.Record{Kind: jobs.RecordCompleted, Key: l.Key, Data: fakePayload(l.Key)})
+	}
+	completeCells(t, c.Addr(), "honest", spec.Digest, byKey, recs)
+	if r := <-res; r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	// Parole: after the cooldown the gate softens to demoted.
+	time.Sleep(300 * time.Millisecond)
+	if h := healthOf(t, c, "vandal"); h.State == "banned" {
+		t.Errorf("vandal still banned after cooldown: %+v", h)
+	}
+}
+
+// TestHealthAllBannedDegradesToDemoted is the liveness guard: when every
+// known worker is banned, the gate demotes instead of starving the sweep.
+func TestHealthAllBannedDegradesToDemoted(t *testing.T) {
+	ht := newHealthTable(HealthOptions{})
+	now := time.Now()
+	for i := 0; i < 9; i++ {
+		ht.event("only", now, func(s *workerScore) { s.rejects++ })
+	}
+	if st := ht.gate("only", now); st != healthDemoted {
+		t.Errorf("sole banned worker gated as %s, want demoted (liveness guard)", st)
+	}
+	// A second healthy worker appears: the guard lifts, the ban holds.
+	ht.event("fresh", now, func(s *workerScore) { s.completions++ })
+	if st := ht.gate("only", now); st != healthBanned {
+		t.Errorf("banned worker gated as %s with healthy peers around", st)
+	}
+	if st := ht.gate("fresh", now); st != healthOK {
+		t.Errorf("healthy worker gated as %s", st)
+	}
+}
+
+// TestLeaseLongPollObservesDisconnect cancels a long-polling lease
+// request client-side and checks the handler unblocks early (satellite:
+// the long-poll selects on the request context, so a dead client never
+// pins a handler for the full poll budget).
+func TestLeaseLongPollObservesDisconnect(t *testing.T) {
+	c := startCoordinator(t, CoordinatorOptions{LeasePoll: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(LeaseRequest{Worker: "w", Max: 1})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+c.Addr()+"/dist/v1/lease", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled long-poll returned a response")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled request did not return")
+	}
+	// The handler must have released the poll: Close() (which waits for
+	// the janitor and in-flight handlers) returns promptly.
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("coordinator Close took %v; long-poll leaked past client disconnect", d)
+	}
+}
+
+// Lease-table audit bookkeeping unit tests (no HTTP).
+
+func TestLeaseTableAuditLifecycle(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1"})
+	now := time.Now()
+	tab.lease("alice", 1, time.Second, now)
+	if !tab.finish("A/w1", "alice", false) {
+		t.Fatal("finish refused")
+	}
+	if tab.remaining != 0 {
+		t.Fatalf("remaining = %d after finish", tab.remaining)
+	}
+	if !tab.scheduleAudit("A/w1", "alice", "digest-a", now) {
+		t.Fatal("scheduleAudit refused")
+	}
+	if tab.scheduleAudit("A/w1", "alice", "digest-a", now) {
+		t.Error("duplicate audit scheduled")
+	}
+	if tab.remaining != 1 {
+		t.Fatalf("remaining = %d with audit outstanding, want 1", tab.remaining)
+	}
+	// The original worker never audits itself.
+	if ls := tab.leaseAudits("alice", 4, time.Second, now); len(ls) != 0 {
+		t.Fatalf("origin worker leased its own audit: %v", ls)
+	}
+	ls := tab.leaseAudits("bob", 4, time.Second, now)
+	if len(ls) != 1 || ls[0].Key != "A/w1" {
+		t.Fatalf("audit lease = %v", ls)
+	}
+	// Audit leases renew like cell leases.
+	if renewed, _ := tab.renew("bob", []string{ls[0].ID}, time.Second, now); len(renewed) != 1 {
+		t.Error("audit lease did not renew")
+	}
+	if !tab.resolveAudit("A/w1") {
+		t.Fatal("resolveAudit refused")
+	}
+	if tab.remaining != 0 {
+		t.Fatalf("remaining = %d after resolve, want 0", tab.remaining)
+	}
+	if tab.resolveAudit("A/w1") {
+		t.Error("double resolve succeeded")
+	}
+}
+
+func TestLeaseTableAuditExpiryAndStale(t *testing.T) {
+	tab := newLeaseTable([]string{"A/w1"})
+	now := time.Now()
+	tab.lease("alice", 1, time.Second, now)
+	tab.finish("A/w1", "alice", false)
+	tab.scheduleAudit("A/w1", "alice", "digest-a", now)
+
+	// Expired audit lease returns to the pool, debiting the holder.
+	tab.leaseAudits("bob", 1, time.Second, now)
+	released, poisoned, dropped := tab.expire(now.Add(2*time.Second), 5)
+	if len(released) != 1 || released[0].key != "A/w1" || released[0].worker != "bob" {
+		t.Fatalf("released = %+v", released)
+	}
+	if len(poisoned) != 0 || len(dropped) != 0 {
+		t.Fatalf("poisoned=%v dropped=%v", poisoned, dropped)
+	}
+	if ls := tab.leaseAudits("carol", 1, time.Second, now); len(ls) != 1 {
+		t.Fatal("audit not re-leasable after expiry")
+	}
+
+	// An audit cycling past maxLeases is dropped, not retried forever.
+	_, _, dropped = tab.expire(now.Add(4*time.Second), 2)
+	if len(dropped) != 1 || dropped[0] != "A/w1" {
+		t.Fatalf("dropped = %v, want the over-churned audit", dropped)
+	}
+	if tab.remaining != 0 {
+		t.Fatalf("remaining = %d after audit drop", tab.remaining)
+	}
+
+	// staleAudits: an unleased audit past grace is abandoned.
+	tab2 := newLeaseTable([]string{"B/w1"})
+	tab2.lease("alice", 1, time.Second, now)
+	tab2.finish("B/w1", "alice", false)
+	tab2.scheduleAudit("B/w1", "alice", "digest-b", now)
+	if d := tab2.staleAudits(now.Add(50*time.Millisecond), time.Second); len(d) != 0 {
+		t.Fatalf("audit abandoned before grace: %v", d)
+	}
+	if d := tab2.staleAudits(now.Add(2*time.Second), time.Second); len(d) != 1 {
+		t.Fatalf("stale audit not abandoned: %v", d)
+	}
+}
+
+// TestWorkerShipsDigests runs a real worker loop and confirms completions
+// arrive digest-stamped end to end (the sweep would otherwise reject
+// them and never finish).
+func TestWorkerShipsDigests(t *testing.T) {
+	c, spec, _, res := startSweep(t, CoordinatorOptions{AuditFraction: 0},
+		"grid-worker-digest-1", []string{"A"}, []string{"w1", "w2"})
+	werr := make(chan error, 1)
+	go func() {
+		werr <- RunWorker(context.Background(), WorkerOptions{
+			Join: c.Addr(), ID: "w", Max: 2, Poll: 20 * time.Millisecond, NewRunner: fakeRunner,
+		})
+	}()
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.rep.Done) != len(spec.Keys()) {
+		t.Fatalf("Done = %d cells, want %d", len(r.rep.Done), len(spec.Keys()))
+	}
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+	if h := healthOf(t, c, "w"); h.Completions != len(spec.Keys()) || h.Rejects != 0 {
+		t.Errorf("worker health = %+v, want %d clean completions", h, len(spec.Keys()))
+	}
+}
+
+// TestMangledWorkerSegmentRejected wires the MangleSegment hook (the
+// corrupt-worker model the chaos e2e uses) through a real worker and
+// checks the coordinator refuses every shipment and the worker's score
+// sinks, while a clean worker completes the sweep.
+func TestMangledWorkerSegmentRejected(t *testing.T) {
+	c, spec, _, res := startSweep(t, CoordinatorOptions{LeaseTTL: 300 * time.Millisecond},
+		"grid-mangle-1", []string{"A"}, []string{"w1", "w2"})
+
+	wctx, stopBad := context.WithCancel(context.Background())
+	defer stopBad()
+	badErr := make(chan error, 1)
+	go func() {
+		badErr <- RunWorker(wctx, WorkerOptions{
+			Join: c.Addr(), ID: "mangler", Max: 1, Poll: 20 * time.Millisecond, NewRunner: fakeRunner,
+			MangleSegment: func(_ string, seg []byte) []byte { return flipByte(seg, len(seg)/2) },
+		})
+	}()
+
+	// Wait until the mangler has been debited at least once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("mangled segments never rejected")
+		}
+		var rejects int
+		for _, h := range c.HealthSnapshot() {
+			if h.Worker == "mangler" {
+				rejects = h.Rejects
+			}
+		}
+		if rejects > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stopBad()
+	<-badErr // worker drains; its leases expire and re-lease
+
+	cleanErr := make(chan error, 1)
+	go func() {
+		cleanErr <- RunWorker(context.Background(), WorkerOptions{
+			Join: c.Addr(), ID: "clean", Max: 2, Poll: 20 * time.Millisecond, NewRunner: fakeRunner,
+		})
+	}()
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		for _, k := range spec.Keys() {
+			if !bytes.Equal(r.rep.Done[k], fakePayload(k)) {
+				t.Errorf("cell %s = %q, want clean payload", k, r.rep.Done[k])
+			}
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sweep did not recover from the mangling worker")
+	}
+	if err := <-cleanErr; err != nil {
+		t.Fatal(err)
+	}
+	if h := healthOf(t, c, "mangler"); h.Score >= healthOf(t, c, "clean").Score {
+		t.Errorf("mangler score %.2f not below clean score", h.Score)
+	}
+}

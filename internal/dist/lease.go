@@ -41,6 +41,22 @@ type cellEntry struct {
 	leases  int       // times handed out (expiries re-lease and re-count)
 }
 
+// auditEntry is one scheduled cross-check of a completed cell: the cell
+// re-leases to a worker other than the one that completed it, and the
+// recomputed result digest is compared against the original. Audits
+// count toward the sweep's remaining work so a sweep never finishes with
+// a verification outstanding.
+type auditEntry struct {
+	key        string
+	origWorker string // completer; never leased the audit
+	origDigest string // digest the completer claimed (and the payload matched)
+	worker     string // auditor while leased
+	leaseID    string
+	expiry     time.Time
+	leases     int
+	created    time.Time
+}
+
 // leaseTable tracks one sweep's cells. It is not self-locking: the
 // owning sweep serialises access under its own mutex, which also covers
 // the report the transitions feed.
@@ -48,21 +64,37 @@ type leaseTable struct {
 	order     []string
 	cells     map[string]*cellEntry
 	byLease   map[string]*cellEntry // live lease id -> cell
-	remaining int                   // cells not yet done/quarantined
+	remaining int                   // cells not yet done/quarantined + audits outstanding
 	seq       uint64
+
+	audits       map[string]*auditEntry // cell key -> outstanding audit
+	auditOrder   []string
+	auditByLease map[string]*auditEntry // live audit lease id -> audit
 }
 
 func newLeaseTable(keys []string) *leaseTable {
 	t := &leaseTable{
-		cells:     make(map[string]*cellEntry, len(keys)),
-		byLease:   make(map[string]*cellEntry, len(keys)),
-		order:     keys,
-		remaining: len(keys),
+		cells:        make(map[string]*cellEntry, len(keys)),
+		byLease:      make(map[string]*cellEntry, len(keys)),
+		order:        keys,
+		remaining:    len(keys),
+		audits:       make(map[string]*auditEntry),
+		auditByLease: make(map[string]*auditEntry),
 	}
 	for _, k := range keys {
 		t.cells[k] = &cellEntry{key: k, state: cellPending}
 	}
 	return t
+}
+
+// state peeks one cell's lifecycle position (cellPending for unknown
+// keys is never returned; ok=false flags those).
+func (t *leaseTable) state(key string) (cellState, bool) {
+	c, ok := t.cells[key]
+	if !ok {
+		return cellPending, false
+	}
+	return c.state, true
 }
 
 // lease hands up to max pending cells to worker. To keep a worker's
@@ -107,32 +139,109 @@ func schemeOf(key string) string {
 	return key
 }
 
-// renew extends the named leases for worker; ids not held by worker (or
-// no longer live) come back in lost.
-func (t *leaseTable) renew(worker string, ids []string, ttl time.Duration, now time.Time) (renewed, lost []string) {
-	for _, id := range ids {
-		c, ok := t.byLease[id]
-		if !ok || c.state != cellLeased || c.worker != worker || c.leaseID != id {
-			lost = append(lost, id)
+// scheduleAudit queues a cross-check of a just-completed cell. It
+// reports whether an audit was created (false: one is already queued).
+func (t *leaseTable) scheduleAudit(key, origWorker, origDigest string, now time.Time) bool {
+	if _, dup := t.audits[key]; dup {
+		return false
+	}
+	t.audits[key] = &auditEntry{key: key, origWorker: origWorker, origDigest: origDigest, created: now}
+	t.auditOrder = append(t.auditOrder, key)
+	t.remaining++
+	return true
+}
+
+// auditFor returns the outstanding audit of key, if any.
+func (t *leaseTable) auditFor(key string) *auditEntry { return t.audits[key] }
+
+// leaseAudits hands up to max unleased audits to worker, skipping cells
+// the worker completed itself — an audit by the original worker would
+// only confirm its own arithmetic. Audit leases share the id space and
+// renewal path of cell leases.
+func (t *leaseTable) leaseAudits(worker string, max int, ttl time.Duration, now time.Time) []Lease {
+	var out []Lease
+	for _, k := range t.auditOrder {
+		if len(out) >= max {
+			break
+		}
+		a := t.audits[k]
+		if a == nil || a.worker != "" || a.origWorker == worker {
 			continue
 		}
-		c.expiry = now.Add(ttl)
-		renewed = append(renewed, id)
+		t.seq++
+		a.worker = worker
+		a.leaseID = fmt.Sprintf("%s#%d", worker, t.seq)
+		a.expiry = now.Add(ttl)
+		a.leases++
+		t.auditByLease[a.leaseID] = a
+		out = append(out, Lease{ID: a.leaseID, Key: k, TTLMs: ttl.Milliseconds()})
+	}
+	return out
+}
+
+// resolveAudit retires the outstanding audit of key (verdict reached or
+// abandoned); it reports whether one existed.
+func (t *leaseTable) resolveAudit(key string) bool {
+	a, ok := t.audits[key]
+	if !ok {
+		return false
+	}
+	if a.leaseID != "" {
+		delete(t.auditByLease, a.leaseID)
+	}
+	delete(t.audits, key)
+	for i, k := range t.auditOrder {
+		if k == key {
+			t.auditOrder = append(t.auditOrder[:i], t.auditOrder[i+1:]...)
+			break
+		}
+	}
+	t.remaining--
+	return true
+}
+
+// renew extends the named leases for worker; ids not held by worker (or
+// no longer live) come back in lost. Audit leases renew exactly like
+// cell leases.
+func (t *leaseTable) renew(worker string, ids []string, ttl time.Duration, now time.Time) (renewed, lost []string) {
+	for _, id := range ids {
+		if c, ok := t.byLease[id]; ok && c.state == cellLeased && c.worker == worker && c.leaseID == id {
+			c.expiry = now.Add(ttl)
+			renewed = append(renewed, id)
+			continue
+		}
+		if a, ok := t.auditByLease[id]; ok && a.worker == worker && a.leaseID == id {
+			a.expiry = now.Add(ttl)
+			renewed = append(renewed, id)
+			continue
+		}
+		lost = append(lost, id)
 	}
 	return renewed, lost
+}
+
+// expiredLease names a reclaimed lease with the worker that dropped it,
+// so the caller can both re-lease the cell and debit the worker's
+// health score.
+type expiredLease struct {
+	key    string
+	worker string
 }
 
 // expire reclaims leases past their deadline: the cell returns to
 // pending (to be re-leased) unless it has cycled through more than
 // maxLeases grants, in which case it is reported as poisoned — the
 // caller quarantines it so one unrunnable cell cannot starve the sweep
-// forever. Returned slices list the affected cell keys.
-func (t *leaseTable) expire(now time.Time, maxLeases int) (released, poisoned []string) {
+// forever. Expired audit leases return to the audit pool the same way;
+// an audit past maxLeases grants is dropped entirely (abandoned) so it
+// cannot wedge the sweep.
+func (t *leaseTable) expire(now time.Time, maxLeases int) (released []expiredLease, poisoned []string, auditsDropped []string) {
 	for _, k := range t.order {
 		c := t.cells[k]
 		if c.state != cellLeased || now.Before(c.expiry) {
 			continue
 		}
+		holder := c.worker
 		delete(t.byLease, c.leaseID)
 		c.leaseID = ""
 		c.worker = ""
@@ -145,9 +254,40 @@ func (t *leaseTable) expire(now time.Time, maxLeases int) (released, poisoned []
 			continue
 		}
 		c.state = cellPending
-		released = append(released, k)
+		released = append(released, expiredLease{key: k, worker: holder})
 	}
-	return released, poisoned
+	for _, k := range append([]string(nil), t.auditOrder...) {
+		a := t.audits[k]
+		if a == nil || a.worker == "" || now.Before(a.expiry) {
+			continue
+		}
+		holder := a.worker
+		delete(t.auditByLease, a.leaseID)
+		a.leaseID = ""
+		a.worker = ""
+		released = append(released, expiredLease{key: k, worker: holder})
+		if a.leases >= maxLeases {
+			t.resolveAudit(k)
+			auditsDropped = append(auditsDropped, k)
+		}
+	}
+	return released, poisoned, auditsDropped
+}
+
+// staleAudits drops audits that have sat unleased longer than grace —
+// the no-second-worker case (a single-worker fleet can never audit its
+// own completions). Returns the abandoned cell keys.
+func (t *leaseTable) staleAudits(now time.Time, grace time.Duration) []string {
+	var dropped []string
+	for _, k := range append([]string(nil), t.auditOrder...) {
+		a := t.audits[k]
+		if a == nil || a.worker != "" || now.Sub(a.created) < grace {
+			continue
+		}
+		t.resolveAudit(k)
+		dropped = append(dropped, k)
+	}
+	return dropped
 }
 
 // finish moves a cell to done (quarantined=false) or quarantined
@@ -178,6 +318,19 @@ func (t *leaseTable) finish(key, worker string, quarantined bool) bool {
 		c.state = cellDone
 	}
 	c.worker = worker
+	return true
+}
+
+// quarantineDone flips a completed cell to quarantined — the audit
+// divergence path, where the completion has just been retracted. The
+// cell already left the remaining pool at completion, so the count
+// stands. Reports whether the flip happened.
+func (t *leaseTable) quarantineDone(key string) bool {
+	c, ok := t.cells[key]
+	if !ok || c.state != cellDone {
+		return false
+	}
+	c.state = cellQuarantined
 	return true
 }
 

@@ -17,6 +17,19 @@ var (
 	obsSweepsActive  = obs.G("dist.sweeps.active")
 	obsWorkersLive   = obs.G("dist.workers.live")
 
+	// Integrity layer: segment/digest verification and audit re-leases.
+	obsSegmentsBad     = obs.C("dist.segments.bad")     // containers refused (checksum/framing)
+	obsDigestMismatch  = obs.C("dist.digest.mismatch")  // records refused on digest grounds
+	obsAuditsScheduled = obs.C("dist.audits.scheduled") // completed cells queued for cross-check
+	obsAuditsPassed    = obs.C("dist.audits.passed")    // cross-checks with matching digests
+	obsAuditsFailed    = obs.C("dist.audits.failed")    // divergences (cell quarantined)
+	obsAuditsDropped   = obs.C("dist.audits.abandoned") // audits given up (no eligible worker)
+
+	// Worker health scoring.
+	obsHealthDemoted = obs.C("dist.health.demotions") // transitions into the demoted state
+	obsHealthBanned  = obs.C("dist.health.bans")      // transitions into the banned state
+	obsWorkersBanned = obs.G("dist.workers.banned")   // currently banned workers
+
 	obsWorkerCells   = obs.C("dist.worker.cells")       // cells executed by this process's workers
 	obsWorkerRetries = obs.C("dist.worker.retries")     // transient local re-attempts
 	obsWorkerAband   = obs.C("dist.worker.abandoned")   // cells dropped on lost leases

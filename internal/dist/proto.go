@@ -192,11 +192,16 @@ func (r RenewResponse) Validate() error {
 
 // CompleteRequest streams finished cells back: Segment is an RSJL blob
 // (jobs.EncodeSegment) holding completed and/or quarantined records,
-// and Leases maps each record's cell key to the lease it was run under.
+// Leases maps each record's cell key to the lease it was run under, and
+// Digests maps each completed record's cell key to the worker's claimed
+// jobs.ResultDigest — the coordinator recomputes it from the received
+// payload and rejects mismatches, so a blob corrupted in flight (or a
+// worker shipping bytes it did not compute) never merges.
 type CompleteRequest struct {
 	Worker  string            `json:"worker"`
 	Digest  string            `json:"digest"`
 	Leases  map[string]string `json:"leases,omitempty"`
+	Digests map[string]string `json:"digests,omitempty"`
 	Segment []byte            `json:"segment"`
 }
 
@@ -214,11 +219,22 @@ func (r CompleteRequest) Validate() error {
 	return nil
 }
 
+// BadRecord reports one integrity rejection back to the sender: the
+// cell key and the Reason* constant the coordinator refused it under
+// (the wire form of ErrBadSegment).
+type BadRecord struct {
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+}
+
 // CompleteResponse acknowledges merged cell keys; Rejected lists keys
-// the coordinator dropped (unknown sweep, already finished elsewhere).
+// the coordinator dropped benignly (unknown sweep, already finished
+// elsewhere), Bad lists integrity rejections — the worker should not
+// retry those, the coordinator has already debited its health score.
 type CompleteResponse struct {
-	Accepted []string `json:"accepted,omitempty"`
-	Rejected []string `json:"rejected,omitempty"`
+	Accepted []string    `json:"accepted,omitempty"`
+	Rejected []string    `json:"rejected,omitempty"`
+	Bad      []BadRecord `json:"bad,omitempty"`
 }
 
 // AttachRequest points a worker agent at a coordinator (the push half

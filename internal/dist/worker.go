@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reramsim/internal/chaos"
 	"reramsim/internal/jobs"
 	"reramsim/internal/par"
 	"reramsim/internal/retry"
@@ -45,6 +46,11 @@ type WorkerOptions struct {
 	Log io.Writer
 	// HTTPClient overrides the protocol client (tests).
 	HTTPClient *http.Client
+	// MangleSegment, when set, rewrites an encoded segment blob just
+	// before shipping — the fault hook the chaos and integrity tests use
+	// to model a worker that ships bytes it did not compute. Production
+	// paths leave it nil.
+	MangleSegment func(key string, seg []byte) []byte
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -59,6 +65,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if chaos.Active() {
+		o.HTTPClient = chaos.WrapClient(o.HTTPClient)
 	}
 	return o
 }
@@ -194,7 +203,15 @@ func (w *worker) runner(ctx context.Context, digest string) (CellFunc, error) {
 	if ok {
 		return r, nil
 	}
-	spec, err := w.fetchGrid(ctx, digest)
+	// The fetch is retried like any other coordinator call: a dropped or
+	// reset GET on first sight of a sweep must not kill the worker.
+	var spec GridSpec
+	pol := retry.Policy{AttemptTimeout: w.attemptTimeout()}
+	err := pol.DoCtx(ctx, shortDigest(digest)+"/grid", 4, func(actx context.Context) error {
+		var ferr error
+		spec, ferr = w.fetchGrid(actx, digest)
+		return ferr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker fetching grid %s: %w", shortDigest(digest), err)
 	}
@@ -299,24 +316,38 @@ func (w *worker) runOnce(ctx context.Context, key string, runner CellFunc) (payl
 	return runner(ctx, key)
 }
 
-// ship posts the record as a single-record segment. Upload failures
-// retry with backoff; a record that cannot be delivered is dropped —
-// the lease expires and the cell re-leases, so the sweep still
-// converges (payloads are deterministic, the retry only costs time).
+// ship posts the record as a single-record segment, with the claimed
+// result digest for completed cells so the coordinator can verify the
+// payload survived the trip. Upload failures retry with backoff, each
+// attempt bounded to half the lease TTL so a hung upload cannot outlive
+// the lease; a record that cannot be delivered is dropped — the lease
+// expires and the cell re-leases, so the sweep still converges
+// (payloads are deterministic, the retry only costs time).
 func (w *worker) ship(ctx context.Context, l Lease, rec jobs.Record) {
+	seg := jobs.EncodeSegment([]jobs.Record{rec})
+	if w.opts.MangleSegment != nil {
+		seg = w.opts.MangleSegment(l.Key, seg)
+	}
 	req := CompleteRequest{
 		Worker:  w.opts.ID,
 		Digest:  l.Digest,
 		Leases:  map[string]string{l.Key: l.ID},
-		Segment: jobs.EncodeSegment([]jobs.Record{rec}),
+		Segment: seg,
 	}
-	err := retry.Policy{}.Do(ctx, l.Key+"/complete", 5, func() error {
-		resp, err := postJSON(w, ctx, "/dist/v1/complete", req, DecodeCompleteResponse)
+	if rec.Kind == jobs.RecordCompleted {
+		req.Digests = map[string]string{l.Key: jobs.ResultDigest(l.Digest, l.Key, rec.Data)}
+	}
+	pol := retry.Policy{AttemptTimeout: w.attemptTimeout()}
+	err := pol.DoCtx(ctx, l.Key+"/complete", 5, func(actx context.Context) error {
+		resp, err := postJSON(w, actx, "/dist/v1/complete", req, DecodeCompleteResponse)
 		if err != nil {
 			return err
 		}
 		for _, k := range resp.Rejected {
 			w.logf("worker %s: %s rejected by coordinator (finished elsewhere)", w.opts.ID, k)
+		}
+		for _, b := range resp.Bad {
+			w.logf("worker %s: %s refused by coordinator: %s", w.opts.ID, b.Key, b.Reason)
 		}
 		return nil
 	})
@@ -324,6 +355,17 @@ func (w *worker) ship(ctx context.Context, l Lease, rec jobs.Record) {
 		obsWorkerAband.Inc()
 		w.logf("worker %s: could not deliver %s: %v (cell will re-lease)", w.opts.ID, l.Key, err)
 	}
+}
+
+// attemptTimeout bounds one upload attempt to half the current lease
+// TTL (floor 100ms): a stuck connection must fail while renewal can
+// still save the lease, not after it has already expired.
+func (w *worker) attemptTimeout() time.Duration {
+	d := time.Duration(w.ttlNs.Load()) / 2
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
 }
 
 // renewLoop heartbeats outstanding leases at TTL/3. A lease the

@@ -1,0 +1,141 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResultDigestPinsGridKeyPayload: the digest must change when any of
+// its three inputs changes, and must be stable for identical inputs —
+// that is the whole integrity contract the dist plane builds on.
+func TestResultDigestPinsGridKeyPayload(t *testing.T) {
+	base := ResultDigest("grid-a", "Base/mcf_m", []byte("payload"))
+	if len(base) != 64 || strings.ToLower(base) != base {
+		t.Fatalf("digest %q is not lowercase hex sha-256", base)
+	}
+	if again := ResultDigest("grid-a", "Base/mcf_m", []byte("payload")); again != base {
+		t.Fatalf("digest not deterministic: %s vs %s", base, again)
+	}
+	variants := []string{
+		ResultDigest("grid-b", "Base/mcf_m", []byte("payload")),
+		ResultDigest("grid-a", "Base/zeu_m", []byte("payload")),
+		ResultDigest("grid-a", "Base/mcf_m", []byte("payload2")),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base digest; input is not pinned", i)
+		}
+	}
+	// NUL-delimited fields must not be shiftable across the boundary.
+	a := ResultDigest("g", "ab", []byte("c"))
+	b := ResultDigest("g", "a", []byte("bc"))
+	if a == b {
+		t.Error("field boundary between key and payload is ambiguous")
+	}
+}
+
+// TestRetractReplaysAsNotDone: a retraction must strike the completion
+// both live and — the crash-safety half — on journal replay, while other
+// completions survive.
+func TestRetractReplaysAsNotDone(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(Options{Dir: dir, Digest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: RecordCompleted, Key: "a", Data: []byte("pa")},
+		{Kind: RecordCompleted, Key: "b", Data: []byte("pb")},
+	}
+	if _, _, err := eng.ImportRecords("w1", recs); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.Retract("w2", "a", "audit", "divergent digests from w1 and w2")
+	if err != nil || !ok {
+		t.Fatalf("Retract = (%v, %v), want (true, nil)", ok, err)
+	}
+	if _, done := eng.Completed("a"); done {
+		t.Fatal("retracted cell still reported completed live")
+	}
+	if _, done := eng.Completed("b"); !done {
+		t.Fatal("unrelated cell lost its completion")
+	}
+	// Retracting again (or a never-completed key) is a no-op.
+	if ok, err := eng.Retract("w2", "a", "audit", "again"); err != nil || ok {
+		t.Fatalf("second Retract = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Replay: a resumed engine must not hold the retracted cell.
+	eng2, err := Open(Options{Dir: dir, Resume: true, Digest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, resumed := eng2.Prepare([]string{"a", "b"})
+	if _, ok := done["a"]; ok {
+		t.Fatal("journal replay resurrected the retracted cell")
+	}
+	if string(done["b"]) != "pb" {
+		t.Fatalf("replay lost the surviving completion: %q", done["b"])
+	}
+	if len(resumed) != 1 || resumed[0] != "b" {
+		t.Fatalf("resumed = %v, want [b]", resumed)
+	}
+	// The retracted cell shows as quarantined in progress after replay.
+	var st CellState
+	for _, c := range eng2.Progress().Cells {
+		if c.Key == "a" {
+			st = c.State
+		}
+	}
+	if st != CellPending {
+		t.Fatalf("retracted cell state after replay = %q, want pending (it re-runs)", st)
+	}
+}
+
+// TestCompletionSupersedesRetraction: a later trustworthy completion
+// (e.g. a third worker re-ran the cell) replays over the retraction,
+// mirroring the completion-supersedes-quarantine rule.
+func TestCompletionSupersedesRetraction(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(Options{Dir: dir, Digest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.ImportRecords("w1", []Record{{Kind: RecordCompleted, Key: "a", Data: []byte("v1")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Retract("", "a", "audit", "divergence"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.ImportRecords("w3", []Record{{Kind: RecordCompleted, Key: "a", Data: []byte("v2")}}); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := Open(Options{Dir: dir, Resume: true, Digest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := eng2.Prepare([]string{"a"})
+	if string(done["a"]) != "v2" {
+		t.Fatalf("replayed payload = %q, want the post-retraction completion v2", done["a"])
+	}
+}
+
+// TestSetHealthSourceFoldsIntoProgress: an attached health provider's
+// snapshot rides along on Progress; detaching removes it.
+func TestSetHealthSourceFoldsIntoProgress(t *testing.T) {
+	eng, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetHealthSource(func() []WorkerHealth {
+		return []WorkerHealth{{Worker: "w1", State: "banned", Score: 0.2, Rejects: 4}}
+	})
+	p := eng.Progress()
+	if len(p.Health) != 1 || p.Health[0].Worker != "w1" || p.Health[0].State != "banned" {
+		t.Fatalf("Progress().Health = %+v, want the attached source's snapshot", p.Health)
+	}
+	eng.SetHealthSource(nil)
+	if h := eng.Progress().Health; h != nil {
+		t.Fatalf("Health after detach = %+v, want nil", h)
+	}
+}

@@ -33,6 +33,7 @@ const segHeaderSize = 4 + 4 + 8 + sha256.Size
 const (
 	recCompleted   = byte(1) // data = the cell's result payload
 	recQuarantined = byte(2) // data = JSON-encoded quarantineData
+	recRetracted   = byte(3) // data = JSON-encoded quarantineData explaining why the completion was withdrawn
 )
 
 // record is one journal entry: a completed cell with its payload, or a
@@ -104,7 +105,7 @@ func decodeRecords(payload []byte) ([]record, error) {
 		if crc32.ChecksumIEEE(rest[:end]) != binary.LittleEndian.Uint32(rest[end:end+4]) {
 			return recs, errors.New("jobs: record checksum mismatch")
 		}
-		if kind != recCompleted && kind != recQuarantined {
+		if kind != recCompleted && kind != recQuarantined && kind != recRetracted {
 			return recs, fmt.Errorf("jobs: unknown record kind %d", kind)
 		}
 		recs = append(recs, record{
@@ -221,6 +222,16 @@ func loadJournal(dir, digest string) (done map[string][]byte, quarantined map[st
 				done[r.key] = r.data
 				delete(quarantined, r.key) // a later completion supersedes a quarantine
 			case recQuarantined:
+				var q quarantineData
+				if json.Unmarshal(r.data, &q) == nil {
+					quarantined[r.key] = q
+				}
+			case recRetracted:
+				// A retraction withdraws an earlier completion (the
+				// coordinator's audit path caught divergent results for the
+				// cell): on replay the cell is no longer done and re-runs,
+				// with the stored report kept as its quarantine state.
+				delete(done, r.key)
 				var q quarantineData
 				if json.Unmarshal(r.data, &q) == nil {
 					quarantined[r.key] = q

@@ -21,4 +21,5 @@ var (
 	obsImported   = obs.C("jobs.imported")          // worker records merged as completions
 	obsImportDups = obs.C("jobs.import.duplicates") // records dropped: cell already done
 	obsImportBad  = obs.C("jobs.import.rejected")   // records dropped: unknown kind / bad payload
+	obsRetracted  = obs.C("jobs.retracted")         // completions withdrawn (audit divergence)
 )

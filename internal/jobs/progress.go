@@ -53,6 +53,20 @@ type WorkerProgress struct {
 	Quarantined int    `json:"quarantined"`
 }
 
+// WorkerHealth is one distributed worker's trust standing as scored by
+// the coordinator's lease table: raw outcome counts plus the derived
+// score and state ("ok" | "demoted" | "banned"). Exported through
+// /progress so an operator can see why a host stopped receiving leases.
+type WorkerHealth struct {
+	Worker        string  `json:"worker"`
+	State         string  `json:"state"`
+	Score         float64 `json:"score"`
+	Completions   int     `json:"completions"`
+	Expiries      int     `json:"expiries,omitempty"`
+	Rejects       int     `json:"rejects,omitempty"`
+	AuditFailures int     `json:"auditFailures,omitempty"`
+}
+
 // Progress is a point-in-time view of the engine's grid execution.
 type Progress struct {
 	Total       int `json:"total"`
@@ -80,6 +94,9 @@ type Progress struct {
 	// Workers summarises per-worker cell states when the grid runs
 	// distributed (sorted by worker name; absent for local runs).
 	Workers []WorkerProgress `json:"workers,omitempty"`
+	// Health carries the coordinator's per-worker trust scores when a
+	// health source is attached (SetHealthSource); absent otherwise.
+	Health []WorkerHealth `json:"health,omitempty"`
 }
 
 // cellProg is the tracker's per-cell record.
@@ -353,8 +370,24 @@ func (p *progressTracker) snapshot(now time.Time) Progress {
 	return out
 }
 
+// SetHealthSource attaches a provider of per-worker health scores (the
+// distributed coordinator's lease table) whose snapshot is folded into
+// every Progress() result. A nil fn detaches it.
+func (e *Engine) SetHealthSource(fn func() []WorkerHealth) {
+	e.mu.Lock()
+	e.healthFn = fn
+	e.mu.Unlock()
+}
+
 // Progress returns the engine's live grid status. Safe to call from any
 // goroutine, including while Run executes; it never blocks execution.
 func (e *Engine) Progress() Progress {
-	return e.prog.snapshot(time.Now())
+	p := e.prog.snapshot(time.Now())
+	e.mu.Lock()
+	fn := e.healthFn
+	e.mu.Unlock()
+	if fn != nil {
+		p.Health = fn()
+	}
+	return p
 }

@@ -1,9 +1,12 @@
 package jobs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -23,6 +26,11 @@ const (
 	RecordCompleted = RecordKind(recCompleted)
 	// RecordQuarantined carries a JSON failure report (QuarantineInfo).
 	RecordQuarantined = RecordKind(recQuarantined)
+	// RecordRetracted withdraws an earlier completion of the same cell
+	// (the coordinator's audit path caught divergent results); its data is
+	// a QuarantineInfo explaining the retraction. Only coordinators write
+	// these — workers never ship them.
+	RecordRetracted = RecordKind(recRetracted)
 )
 
 // Record is one journal entry in its wire form.
@@ -57,6 +65,26 @@ func DecodeSegment(blob []byte) ([]Record, error) {
 		return recs, err
 	}
 	return recs, nil
+}
+
+// ResultDigest is the canonical integrity digest of one completed cell:
+// SHA-256 over a domain separator, the sweep's grid digest, the cell key
+// and the raw RSJL record payload, NUL-delimited. Pinning the grid digest
+// and key means a digest can never be replayed for a different cell or a
+// different sweep configuration — a worker vouches for "this payload, for
+// this cell, of this grid", nothing weaker. Workers compute it when they
+// ship a completion; the coordinator recomputes it from the received
+// payload and rejects mismatches, and the audit path compares digests
+// from two independent workers.
+func ResultDigest(gridDigest, key string, payload []byte) string {
+	h := sha256.New()
+	io.WriteString(h, "reramsim-rsjl-result-v1\x00")
+	io.WriteString(h, gridDigest)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // QuarantineInfo is the decoded body of a quarantine record.
@@ -187,6 +215,30 @@ func (e *Engine) ImportRecords(worker string, recs []Record) (completed []string
 		}
 	}
 	return completed, quarantined, nil
+}
+
+// Retract withdraws a completed cell: the payload is dropped from the
+// engine's state, a retraction record lands in the journal (so a replay
+// of the journal no longer yields the cell as done), and the cell shows
+// as quarantined in progress, attributed to worker. The coordinator's
+// audit path calls it when two workers return divergent results for one
+// cell — neither result can be trusted, so the cell's completion is
+// struck from the record. Retracting a cell that is not completed is a
+// no-op returning false.
+func (e *Engine) Retract(worker, key, reason, msg string) (bool, error) {
+	e.mu.Lock()
+	_, had := e.done[key]
+	if had {
+		delete(e.done, key)
+		delete(e.fromDisk, key)
+	}
+	e.mu.Unlock()
+	if !had {
+		return false, nil
+	}
+	obsRetracted.Inc()
+	e.prog.markQuarantinedBy(key, reason, worker)
+	return true, e.j.append(record{kind: recRetracted, key: key, data: QuarantinePayload(reason, msg, "")})
 }
 
 // Completed returns the payload the engine holds for key, whether it was

@@ -34,6 +34,14 @@ const (
 type Policy struct {
 	Initial time.Duration // first delay (default 100ms)
 	Max     time.Duration // cap on the pre-jitter delay (default 2s)
+
+	// AttemptTimeout, when positive, bounds each individual attempt made
+	// through DoCtx: the attempt's context is cancelled after this long,
+	// so one hung call (a segment upload stalled on a dead TCP peer, say)
+	// cannot eat the caller's whole deadline. Zero means attempts share
+	// the caller's context unbounded. Do ignores it — its callback takes
+	// no context, so there is nothing to cancel.
+	AttemptTimeout time.Duration
 }
 
 // withDefaults normalises unset fields.
@@ -81,12 +89,22 @@ func jitterRNG(key string, attempt int) *rand.Rand {
 // deterministic per-key jitter keeps a fleet of workers hammering a
 // restarted coordinator from re-synchronising.
 func (p Policy) Do(ctx context.Context, key string, attempts int, f func() error) error {
+	return p.DoCtx(ctx, key, attempts, func(context.Context) error { return f() })
+}
+
+// DoCtx is Do for callbacks that honour a context: each attempt receives
+// a child of ctx, additionally bounded by Policy.AttemptTimeout when that
+// is set. A timed-out attempt counts as a failure and backs off like any
+// other; only the parent ctx ending aborts the whole loop. Workers use it
+// to ship journal segments — a hung upload is cancelled after a fraction
+// of the lease TTL instead of silently outliving the lease.
+func (p Policy) DoCtx(ctx context.Context, key string, attempts int, f func(context.Context) error) error {
 	var last error
 	for n := 0; n < attempts; n++ {
 		if err := ctx.Err(); err != nil {
 			return joinCtx(ctx, last)
 		}
-		if last = f(); last == nil {
+		if last = p.attempt(ctx, f); last == nil {
 			return nil
 		}
 		if n < attempts-1 {
@@ -97,6 +115,17 @@ func (p Policy) Do(ctx context.Context, key string, attempts int, f func() error
 		return joinCtx(ctx, last)
 	}
 	return last
+}
+
+// attempt runs one call to f under the per-attempt timeout, if any.
+func (p Policy) attempt(ctx context.Context, f func(context.Context) error) error {
+	if p.AttemptTimeout <= 0 {
+		return f(ctx)
+	}
+	actx, cancel := context.WithTimeoutCause(ctx, p.AttemptTimeout,
+		fmt.Errorf("retry: attempt exceeded %v", p.AttemptTimeout))
+	defer cancel()
+	return f(actx)
 }
 
 // joinCtx pairs a cancellation cause with the last attempt error.

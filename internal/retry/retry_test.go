@@ -5,6 +5,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -166,6 +167,71 @@ func TestDoExhaustsAttempts(t *testing.T) {
 	}
 	if calls != 4 {
 		t.Fatalf("f called %d times, want 4", calls)
+	}
+}
+
+// TestDoCtxAttemptTimeoutUnsticksHungHandler is the satellite regression
+// test: a callback that blocks until its context ends (a segment upload
+// stuck on a dead peer) must be cancelled per attempt by AttemptTimeout
+// and retried, rather than stalling the worker past the lease TTL.
+func TestDoCtxAttemptTimeoutUnsticksHungHandler(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond, AttemptTimeout: 20 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	err := p.DoCtx(context.Background(), "k", 3, func(ctx context.Context) error {
+		calls++
+		if calls == 3 {
+			return nil // peer recovered
+		}
+		<-ctx.Done() // hang until the per-attempt timeout fires
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("DoCtx = %v, want nil after the peer recovers", err)
+	}
+	if calls != 3 {
+		t.Fatalf("f called %d times, want 3 (two hung attempts + one success)", calls)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("DoCtx took %v; hung attempts were not cut short", e)
+	}
+}
+
+// TestDoCtxAttemptTimeoutExhausts: every attempt hanging must surface
+// the per-attempt deadline as the final error, not block forever.
+func TestDoCtxAttemptTimeoutExhausts(t *testing.T) {
+	p := Policy{Initial: time.Microsecond, Max: time.Microsecond, AttemptTimeout: 10 * time.Millisecond}
+	calls := 0
+	err := p.DoCtx(context.Background(), "k", 3, func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return context.Cause(ctx)
+	})
+	if err == nil || !strings.Contains(err.Error(), "attempt exceeded") {
+		t.Fatalf("DoCtx = %v, want the per-attempt timeout cause", err)
+	}
+	if calls != 3 {
+		t.Fatalf("f called %d times, want 3", calls)
+	}
+}
+
+// TestDoCtxParentCancelStillAborts: the per-attempt timeout must not
+// mask the caller's own cancellation.
+func TestDoCtxParentCancelStillAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Initial: time.Hour, Max: time.Hour, AttemptTimeout: time.Hour}
+	calls := 0
+	fail := errors.New("nope")
+	err := p.DoCtx(ctx, "k", 10, func(context.Context) error {
+		calls++
+		cancel()
+		return fail
+	})
+	if calls != 1 {
+		t.Fatalf("f called %d times after cancel, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, fail) {
+		t.Fatalf("DoCtx = %v, want the cancellation wrapping the pending error", err)
 	}
 }
 
